@@ -1,0 +1,44 @@
+// Reproduces Figure 10: GP-SSN performance vs the number n of POIs on the
+// synthetic datasets. Paper: smooth growth (0.009-0.03 s, 138-285 I/Os) for
+// n in {3K, 5K, 10K, 15K, 30K}.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+namespace gpssn::bench {
+namespace {
+
+void Run() {
+  const BenchConfig config = GetConfig();
+  std::printf("=== Fig. 10: effect of the number of POIs n "
+              "(scale %.2f, %d queries/point) ===\n",
+              config.scale, config.queries);
+  TablePrinter table({"dataset", "n (scaled)", "CPU (s)", "I/Os", "found"});
+  for (const char* name : {"UNI", "ZIPF"}) {
+    for (int paper_n : {3000, 5000, 10000, 15000, 30000}) {
+      DatasetOverrides overrides;
+      overrides.num_pois =
+          std::max(128, static_cast<int>(paper_n * config.scale));
+      auto db = BuildDatabase(MakeDataset(name, config.scale, overrides));
+      const Aggregate agg = RunWorkload(db.get(), DefaultQuery(),
+                                        config.queries, QueryOptions{}, 20);
+      table.AddRow({name, std::to_string(overrides.num_pois),
+                    TablePrinter::Num(agg.avg_cpu_seconds, 3),
+                    TablePrinter::Num(agg.avg_page_ios, 4),
+                    std::to_string(agg.answers_found) + "/" +
+                        std::to_string(agg.queries)});
+    }
+  }
+  table.Print();
+  std::printf("(paper: smooth growth with n; 0.009-0.03 s, 138-285 I/Os)\n");
+}
+
+}  // namespace
+}  // namespace gpssn::bench
+
+int main() {
+  gpssn::bench::Run();
+  return 0;
+}

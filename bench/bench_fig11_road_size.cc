@@ -1,0 +1,46 @@
+// Reproduces Figure 11: GP-SSN performance vs the road-network size
+// |V(G_r)|. Paper: nearly flat (0.014-0.02 s, 200-270 I/Os) thanks to the
+// offline pivot tables.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+namespace gpssn::bench {
+namespace {
+
+void Run() {
+  const BenchConfig config = GetConfig();
+  std::printf("=== Fig. 11: effect of the road-network size |V(Gr)| "
+              "(scale %.2f, %d queries/point) ===\n",
+              config.scale, config.queries);
+  TablePrinter table({"dataset", "|V(Gr)| (scaled)", "CPU (s)", "I/Os",
+                      "found"});
+  for (const char* name : {"UNI", "ZIPF"}) {
+    for (int paper_v : {10000, 20000, 30000, 40000, 50000}) {
+      DatasetOverrides overrides;
+      overrides.num_road_vertices =
+          std::max(256, static_cast<int>(paper_v * config.scale));
+      auto db = BuildDatabase(MakeDataset(name, config.scale, overrides));
+      const Aggregate agg = RunWorkload(db.get(), DefaultQuery(),
+                                        config.queries, QueryOptions{}, 30);
+      table.AddRow({name, std::to_string(overrides.num_road_vertices),
+                    TablePrinter::Num(agg.avg_cpu_seconds, 3),
+                    TablePrinter::Num(agg.avg_page_ios, 4),
+                    std::to_string(agg.answers_found) + "/" +
+                        std::to_string(agg.queries)});
+    }
+  }
+  table.Print();
+  std::printf("(paper: not very sensitive to |V(Gr)|; 0.014-0.02 s, "
+              "200-270 I/Os)\n");
+}
+
+}  // namespace
+}  // namespace gpssn::bench
+
+int main() {
+  gpssn::bench::Run();
+  return 0;
+}

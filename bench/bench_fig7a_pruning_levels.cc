@@ -1,0 +1,40 @@
+// Reproduces Figure 7(a): pruning power of index-level vs object-level
+// pruning on both indexes, across the four datasets at default parameters.
+// Paper bands: social index 40-50%, social object 50-58%; road index
+// 48-70%, road object 30-42%.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+namespace gpssn::bench {
+namespace {
+
+void Run() {
+  const BenchConfig config = GetConfig();
+  std::printf("=== Fig. 7(a): index-level vs object-level pruning power "
+              "(scale %.2f, %d queries/dataset) ===\n",
+              config.scale, config.queries);
+  TablePrinter table({"dataset", "social idx-level", "social obj-level",
+                      "road idx-level", "road obj-level"});
+  for (const char* name : {"BriCal", "GowCol", "UNI", "ZIPF"}) {
+    auto db = BuildDatabase(MakeDataset(name, config.scale));
+    const Aggregate agg = RunWorkload(db.get(), DefaultQuery(), config.queries,
+                                      QueryOptions{}, 5);
+    table.AddRow({name, Pct(agg.SocialIndexLevelPower(db->ssn().num_users())),
+                  Pct(agg.SocialObjectLevelPower()),
+                  Pct(agg.RoadIndexLevelPower(db->ssn().num_pois())),
+                  Pct(agg.RoadObjectLevelPower())});
+  }
+  table.Print();
+  std::printf("(paper: social 40-50%% / 50-58%%, road 48-70%% / 30-42%%)\n");
+}
+
+}  // namespace
+}  // namespace gpssn::bench
+
+int main() {
+  gpssn::bench::Run();
+  return 0;
+}

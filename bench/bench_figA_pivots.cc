@@ -1,0 +1,42 @@
+// Reproduces the Appendix P experiment on the number of pivots l = h
+// (Table 3 row: 2, 3, 5, 7, 10). More pivots tighten distance bounds at
+// higher storage/maintenance cost.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+namespace gpssn::bench {
+namespace {
+
+void Run() {
+  const BenchConfig config = GetConfig();
+  std::printf("=== Appendix P: effect of the number of pivots l = h "
+              "(scale %.2f, %d queries/point) ===\n",
+              config.scale, config.queries);
+  TablePrinter table({"dataset", "pivots", "CPU (s)", "I/Os", "found"});
+  for (const char* name : {"UNI", "ZIPF"}) {
+    for (int pivots : {2, 3, 5, 7, 10}) {
+      auto db = BuildDatabase(MakeDataset(name, config.scale), pivots);
+      const Aggregate agg = RunWorkload(db.get(), DefaultQuery(),
+                                        config.queries, QueryOptions{}, 80);
+      table.AddRow({name, std::to_string(pivots),
+                    TablePrinter::Num(agg.avg_cpu_seconds, 3),
+                    TablePrinter::Num(agg.avg_page_ios, 4),
+                    std::to_string(agg.answers_found) + "/" +
+                        std::to_string(agg.queries)});
+    }
+  }
+  table.Print();
+  std::printf("(expected shape: more pivots -> tighter bounds -> fewer "
+              "refinement evaluations, with diminishing returns)\n");
+}
+
+}  // namespace
+}  // namespace gpssn::bench
+
+int main() {
+  gpssn::bench::Run();
+  return 0;
+}

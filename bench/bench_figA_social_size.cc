@@ -1,0 +1,43 @@
+// Reproduces the Appendix P experiment on the social-network size
+// |V(G_s)| (Table 3 row: 10K-50K).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+namespace gpssn::bench {
+namespace {
+
+void Run() {
+  const BenchConfig config = GetConfig();
+  std::printf("=== Appendix P: effect of the social-network size |V(Gs)| "
+              "(scale %.2f, %d queries/point) ===\n",
+              config.scale, config.queries);
+  TablePrinter table({"dataset", "|V(Gs)| (scaled)", "CPU (s)", "I/Os",
+                      "found"});
+  for (const char* name : {"UNI", "ZIPF"}) {
+    for (int paper_v : {10000, 20000, 30000, 40000, 50000}) {
+      DatasetOverrides overrides;
+      overrides.num_users =
+          std::max(256, static_cast<int>(paper_v * config.scale));
+      auto db = BuildDatabase(MakeDataset(name, config.scale, overrides));
+      const Aggregate agg = RunWorkload(db.get(), DefaultQuery(),
+                                        config.queries, QueryOptions{}, 40);
+      table.AddRow({name, std::to_string(overrides.num_users),
+                    TablePrinter::Num(agg.avg_cpu_seconds, 3),
+                    TablePrinter::Num(agg.avg_page_ios, 4),
+                    std::to_string(agg.answers_found) + "/" +
+                        std::to_string(agg.queries)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace gpssn::bench
+
+int main() {
+  gpssn::bench::Run();
+  return 0;
+}

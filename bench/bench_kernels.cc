@@ -1,0 +1,231 @@
+// google-benchmark micro-benchmarks for the substrate kernels: Dijkstra,
+// BFS, R*-tree operations, score computations, and pruning predicates.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/bench_util.h"
+#include "core/pruning.h"
+#include "core/scores.h"
+#include "index/rstar_tree.h"
+#include "roadnet/astar.h"
+#include "roadnet/contraction_hierarchy.h"
+#include "roadnet/road_generator.h"
+#include "roadnet/shortest_path.h"
+#include "socialnet/bfs.h"
+#include "socialnet/social_generator.h"
+
+namespace gpssn::bench {
+namespace {
+
+const RoadNetwork& SharedRoad(int n) {
+  static auto* cache = new std::map<int, RoadNetwork>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    RoadGenOptions options;
+    options.num_vertices = n;
+    options.seed = 1;
+    it = cache->emplace(n, GenerateRoadNetwork(options)).first;
+  }
+  return it->second;
+}
+
+const SocialNetwork& SharedSocial(int n) {
+  static auto* cache = new std::map<int, SocialNetwork>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    SocialGenOptions options;
+    options.num_users = n;
+    options.seed = 1;
+    it = cache->emplace(n, GenerateSocialNetwork(options)).first;
+  }
+  return it->second;
+}
+
+void BM_DijkstraSingleSource(benchmark::State& state) {
+  const RoadNetwork& g = SharedRoad(static_cast<int>(state.range(0)));
+  DijkstraEngine engine(&g);
+  VertexId source = 0;
+  for (auto _ : state) {
+    engine.RunFromVertex(source);
+    benchmark::DoNotOptimize(engine.Distance(g.num_vertices() - 1));
+    source = (source + 101) % g.num_vertices();
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_DijkstraSingleSource)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_DijkstraBoundedBall(benchmark::State& state) {
+  const RoadNetwork& g = SharedRoad(5000);
+  DijkstraEngine engine(&g);
+  EdgePosition pos{0, 0.5};
+  for (auto _ : state) {
+    engine.RunFromPosition(pos, /*bound=*/static_cast<double>(state.range(0)));
+    benchmark::DoNotOptimize(engine.Settled().size());
+    pos.edge = (pos.edge + 37) % g.num_edges();
+  }
+}
+BENCHMARK(BM_DijkstraBoundedBall)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BfsFullGraph(benchmark::State& state) {
+  const SocialNetwork& g = SharedSocial(static_cast<int>(state.range(0)));
+  BfsEngine engine(&g);
+  UserId source = 0;
+  for (auto _ : state) {
+    engine.Run(source);
+    benchmark::DoNotOptimize(engine.Visited().size());
+    source = (source + 11) % g.num_users();
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_users());
+}
+BENCHMARK(BM_BfsFullGraph)->Arg(1000)->Arg(10000);
+
+// Point-to-point engine shoot-out on the same 20K-vertex road network:
+// plain Dijkstra (early exit), A*, bidirectional, contraction hierarchies.
+void BM_PointToPointDijkstra(benchmark::State& state) {
+  const RoadNetwork& g = SharedRoad(20000);
+  DijkstraEngine engine(&g);
+  Rng rng(21);
+  for (auto _ : state) {
+    const VertexId a = rng.NextBounded(g.num_vertices());
+    const VertexId b = rng.NextBounded(g.num_vertices());
+    benchmark::DoNotOptimize(engine.VertexToVertex(a, b));
+  }
+}
+BENCHMARK(BM_PointToPointDijkstra);
+
+void BM_PointToPointAStar(benchmark::State& state) {
+  const RoadNetwork& g = SharedRoad(20000);
+  AStarEngine engine(&g);
+  Rng rng(21);
+  for (auto _ : state) {
+    const VertexId a = rng.NextBounded(g.num_vertices());
+    const VertexId b = rng.NextBounded(g.num_vertices());
+    benchmark::DoNotOptimize(engine.VertexToVertex(a, b));
+  }
+}
+BENCHMARK(BM_PointToPointAStar);
+
+void BM_PointToPointBidirectional(benchmark::State& state) {
+  const RoadNetwork& g = SharedRoad(20000);
+  BidirectionalDijkstra engine(&g);
+  Rng rng(21);
+  for (auto _ : state) {
+    const VertexId a = rng.NextBounded(g.num_vertices());
+    const VertexId b = rng.NextBounded(g.num_vertices());
+    benchmark::DoNotOptimize(engine.VertexToVertex(a, b));
+  }
+}
+BENCHMARK(BM_PointToPointBidirectional);
+
+void BM_PointToPointCh(benchmark::State& state) {
+  const RoadNetwork& g = SharedRoad(20000);
+  static auto* ch_cache = new std::map<const RoadNetwork*, ContractionHierarchy>();
+  auto it = ch_cache->find(&g);
+  if (it == ch_cache->end()) {
+    it = ch_cache->emplace(&g, ContractionHierarchy()).first;
+    it->second.Build(&g);
+  }
+  ChQuery engine(&it->second);
+  Rng rng(21);
+  for (auto _ : state) {
+    const VertexId a = rng.NextBounded(g.num_vertices());
+    const VertexId b = rng.NextBounded(g.num_vertices());
+    benchmark::DoNotOptimize(engine.VertexToVertex(a, b));
+  }
+}
+BENCHMARK(BM_PointToPointCh);
+
+void BM_RStarTreeInsert(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    RStarTree tree;
+    std::vector<Point> pts(state.range(0));
+    for (auto& p : pts) {
+      p = {rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)};
+    }
+    state.ResumeTiming();
+    for (size_t i = 0; i < pts.size(); ++i) {
+      tree.Insert(pts[i], static_cast<int32_t>(i));
+    }
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RStarTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_RStarTreeCircleQuery(benchmark::State& state) {
+  Rng rng(9);
+  RStarTree tree;
+  for (int i = 0; i < 20000; ++i) {
+    tree.Insert({rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)}, i);
+  }
+  std::vector<int32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    const Point c{rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)};
+    tree.CircleQuery(c, 5.0, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_RStarTreeCircleQuery);
+
+void BM_InterestScore(benchmark::State& state) {
+  Rng rng(11);
+  const int d = static_cast<int>(state.range(0));
+  std::vector<double> a(d), b(d);
+  for (int f = 0; f < d; ++f) {
+    a[f] = rng.UniformDouble();
+    b[f] = rng.UniformDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InterestScore(a, b));
+  }
+}
+BENCHMARK(BM_InterestScore)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_MatchScore(benchmark::State& state) {
+  Rng rng(13);
+  const int d = 100;
+  std::vector<double> w(d);
+  for (double& p : w) p = rng.UniformDouble();
+  std::vector<KeywordId> kws;
+  for (KeywordId f = 0; f < d; f += 3) kws.push_back(f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatchScore(w, kws));
+  }
+}
+BENCHMARK(BM_MatchScore);
+
+void BM_UbMatchScoreBitVector(benchmark::State& state) {
+  Rng rng(15);
+  std::vector<double> w(100);
+  for (double& p : w) p = rng.Bernoulli(0.1) ? rng.UniformDouble() : 0.0;
+  std::vector<int> kws;
+  for (int f = 0; f < 100; f += 4) kws.push_back(f);
+  const KeywordBitVector sig = KeywordBitVector::FromKeywords(kws);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UbMatchScore(w, sig));
+  }
+}
+BENCHMARK(BM_UbMatchScoreBitVector);
+
+void BM_PruningRegionVectorTest(benchmark::State& state) {
+  Rng rng(17);
+  std::vector<double> anchor(100);
+  for (double& p : anchor) p = rng.Bernoulli(0.05) ? rng.UniformDouble() : 0.0;
+  const PruningRegion region(anchor, 0.3);
+  std::vector<double> probe(100);
+  for (double& p : probe) p = rng.Bernoulli(0.05) ? rng.UniformDouble() : 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(region.PrunesVector(probe));
+  }
+}
+BENCHMARK(BM_PruningRegionVectorTest);
+
+}  // namespace
+}  // namespace gpssn::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Reproduces Table 2: statistics of the four evaluation datasets. The real
+// Brightkite/Gowalla + California/Colorado data is substituted by
+// statistically matched synthetic networks (see DESIGN.md §5); the paper's
+// published statistics are printed alongside for comparison.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+namespace gpssn::bench {
+namespace {
+
+void Run() {
+  const BenchConfig config = GetConfig();
+  std::printf("=== Table 2: dataset statistics (scale %.2f; paper values in "
+              "brackets) ===\n",
+              config.scale);
+  TablePrinter table({"dataset", "|V(Gs)|", "deg(Gs)", "|V(Gr)|", "deg(Gr)",
+                      "POIs", "paper deg(Gs)", "paper deg(Gr)"});
+  struct Row {
+    const char* name;
+    double paper_social_deg;
+    double paper_road_deg;
+  };
+  const Row rows[] = {
+      {"BriCal", 10.3, 2.1},
+      {"GowCol", 32.1, 2.4},
+      {"UNI", -1, -1},
+      {"ZIPF", -1, -1},
+  };
+  for (const Row& row : rows) {
+    const SpatialSocialNetwork ssn = MakeDataset(row.name, config.scale);
+    const SsnStats stats = ComputeStats(ssn);
+    table.AddRow({row.name, std::to_string(stats.social_vertices),
+                  TablePrinter::Num(stats.social_avg_degree, 3),
+                  std::to_string(stats.road_vertices),
+                  TablePrinter::Num(stats.road_avg_degree, 3),
+                  std::to_string(stats.num_pois),
+                  row.paper_social_deg > 0
+                      ? TablePrinter::Num(row.paper_social_deg, 3)
+                      : "-",
+                  row.paper_road_deg > 0
+                      ? TablePrinter::Num(row.paper_road_deg, 3)
+                      : "-"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace gpssn::bench
+
+int main() {
+  gpssn::bench::Run();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Quickstart: build a tiny spatial-social network by hand (mirroring the
+// paper's Figure 1 example), index it, and answer one GP-SSN query.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "gpssn/gpssn.h"
+
+using namespace gpssn;
+
+int main() {
+  // --- Road network G_r: a 3x2 grid of intersections (v1..v6 of Fig. 1).
+  RoadNetworkBuilder road_builder;
+  //   0 -- 1 -- 2
+  //   |    |    |
+  //   3 -- 4 -- 5
+  for (double y : {1.0, 0.0}) {
+    for (double x : {0.0, 1.0, 2.0}) {
+      road_builder.AddVertex({x, y});
+    }
+  }
+  std::vector<EdgeId> edges;
+  for (auto [a, b] : {std::pair{0, 1}, {1, 2}, {3, 4}, {4, 5},
+                      {0, 3}, {1, 4}, {2, 5}}) {
+    auto e = road_builder.AddEdge(a, b);
+    GPSSN_CHECK_OK(e.status());
+    edges.push_back(*e);
+  }
+  RoadNetwork road = road_builder.Build();
+
+  // --- POIs on road edges: a restaurant, a mall, and two cafes. Topic ids:
+  // 0 = restaurant, 1 = shopping mall, 2 = cafe (Table 1's vocabulary).
+  std::vector<Poi> pois;
+  auto add_poi = [&](EdgeId e, double t, std::vector<KeywordId> kws) {
+    Poi poi;
+    poi.id = static_cast<PoiId>(pois.size());
+    poi.position = {e, t};
+    poi.location = road.PositionPoint(poi.position);
+    poi.keywords = std::move(kws);
+    pois.push_back(std::move(poi));
+  };
+  add_poi(edges[0], 0.5, {0});     // Restaurant on the top-left road.
+  add_poi(edges[1], 0.3, {1});     // Mall on the top-right road.
+  add_poi(edges[2], 0.6, {2});     // Cafe on the bottom-left road.
+  add_poi(edges[5], 0.5, {0, 2});  // Cafe+restaurant in the middle.
+
+  // --- Social network G_s: the five users of Table 1, with Fig. 1's
+  // friendship edges.
+  SocialNetworkBuilder social_builder(/*num_topics=*/3);
+  const double interests[5][3] = {
+      {0.7, 0.3, 0.7},  // u1
+      {0.2, 0.9, 0.3},  // u2
+      {0.4, 0.8, 0.8},  // u3
+      {0.9, 0.7, 0.7},  // u4
+      {0.1, 0.8, 0.5},  // u5
+  };
+  for (const auto& w : interests) {
+    GPSSN_CHECK_OK(social_builder.AddUser(std::span<const double>(w, 3)).status());
+  }
+  for (auto [a, b] : {std::pair{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}, {1, 4}}) {
+    GPSSN_CHECK_OK(social_builder.AddFriendship(a, b));
+  }
+  SocialNetwork social = social_builder.Build();
+
+  // --- Homes: each user lives on some road edge.
+  std::vector<EdgePosition> homes = {
+      {edges[0], 0.1}, {edges[1], 0.9}, {edges[2], 0.2},
+      {edges[3], 0.8}, {edges[5], 0.4},
+  };
+
+  SpatialSocialNetwork ssn(std::move(road), std::move(social),
+                           std::move(homes), std::move(pois));
+  GPSSN_CHECK_OK(ssn.Validate());
+
+  // --- Build the database (pivot tables + both indexes) and query.
+  GpssnBuildOptions build;
+  build.num_road_pivots = 2;
+  build.num_social_pivots = 2;
+  build.social_index.leaf_cell_size = 2;
+  build.poi_index.r_min = 0.25;
+  build.poi_index.r_max = 3.0;
+  GpssnDatabase db(std::move(ssn), build);
+
+  GpssnQuery query;
+  query.issuer = 0;    // u1 wants to plan a trip...
+  query.tau = 3;       // ...with two friends...
+  query.gamma = 0.8;   // ...who share interests with each other...
+  query.theta = 0.6;   // ...to POIs matching everyone's taste...
+  query.radius = 1.5;  // ...within a walkable area.
+
+  QueryStats stats;
+  auto answer = db.Query(query, &stats);
+  GPSSN_CHECK_OK(answer.status());
+
+  if (!answer->found) {
+    std::printf("No qualifying (group, POI set) pair exists.\n");
+    return 0;
+  }
+  std::printf("Group S (issuer u%d + friends): ", query.issuer + 1);
+  for (UserId u : answer->users) std::printf("u%d ", u + 1);
+  std::printf("\nPOI set R (ball around POI %d): ", answer->center);
+  for (PoiId o : answer->pois) {
+    const Point p = db.ssn().poi(o).location;
+    std::printf("#%d@(%.2f,%.2f) ", o, p.x, p.y);
+  }
+  std::printf("\nmaxdist_RN(S, R) = %.3f\n", answer->max_dist);
+  std::printf("\nQuery statistics:\n%s\n", stats.ToString().c_str());
+  return 0;
+}

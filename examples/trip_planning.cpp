@@ -1,0 +1,98 @@
+// Destination planning for a group of friends (Example 1 of the paper):
+// a city-scale synthetic spatial-social network; a user asks for a group of
+// like-minded friends plus a set of nearby POIs they would all enjoy.
+//
+//   ./examples/trip_planning [issuer] [tau]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "gpssn/gpssn.h"
+
+using namespace gpssn;
+
+int main(int argc, char** argv) {
+  // A mid-size city: 5K intersections, 2.5K POIs, 8K residents.
+  SyntheticSsnOptions city;
+  city.num_road_vertices = 5000;
+  city.num_pois = 2500;
+  city.num_users = 8000;
+  city.seed = 2026;
+  std::printf("Generating the city and its residents...\n");
+  SpatialSocialNetwork ssn = MakeSynthetic(city);
+  const SsnStats stats = ComputeStats(ssn);
+  std::printf("  road: %d intersections (avg degree %.2f), %d POIs\n",
+              stats.road_vertices, stats.road_avg_degree, stats.num_pois);
+  std::printf("  social: %d users (avg degree %.2f), %d topics\n\n",
+              stats.social_vertices, stats.social_avg_degree,
+              stats.num_topics);
+
+  std::printf("Building pivot tables and the I_R / I_S indexes...\n");
+  GpssnDatabase db{std::move(ssn)};
+
+  GpssnQuery query;
+  query.issuer = argc > 1 ? std::atoi(argv[1]) : 4242;
+  query.tau = argc > 2 ? std::atoi(argv[2]) : 4;
+  query.gamma = 0.3;
+  query.theta = 0.3;
+  query.radius = 2.0;
+
+  std::printf("\nUser %d plans a day out with %d friends "
+              "(gamma=%.1f, theta=%.1f, r=%.1f)...\n",
+              query.issuer, query.tau - 1, query.gamma, query.theta,
+              query.radius);
+  QueryStats qstats;
+  auto answer = db.Query(query, &qstats);
+  if (!answer.ok()) {
+    std::printf("query error: %s\n", answer.status().ToString().c_str());
+    return 1;
+  }
+  if (!answer->found) {
+    std::printf("No qualifying plan exists for this user — try another "
+                "issuer or relax the thresholds.\n");
+    return 0;
+  }
+
+  std::printf("\n=== The plan ===\n");
+  std::printf("Invitees (pairwise interest score >= %.1f, all connected):\n",
+              query.gamma);
+  for (UserId u : answer->users) {
+    const Point home = db.ssn().user_point(u);
+    std::printf("  user %-6d home (%.1f, %.1f)%s\n", u, home.x, home.y,
+                u == query.issuer ? "   <- the organizer" : "");
+  }
+  std::printf("Destinations (all within road distance %.1f of POI %d):\n",
+              query.radius, answer->center);
+  for (PoiId o : answer->pois) {
+    const Poi& poi = db.ssn().poi(o);
+    std::printf("  POI %-6d at (%.1f, %.1f), topics:", o, poi.location.x,
+                poi.location.y);
+    for (KeywordId kw : poi.keywords) std::printf(" %d", kw);
+    std::printf("\n");
+  }
+  std::printf("Longest drive for any invitee: %.2f road units.\n",
+              answer->max_dist);
+  std::printf("\n(answered in %.1f ms with %llu page I/Os)\n",
+              qstats.cpu_seconds * 1e3,
+              static_cast<unsigned long long>(qstats.PageAccesses()));
+
+  // Alternative plans via the top-k extension.
+  auto alternatives = db.QueryTopK(query, 3, QueryOptions{});
+  if (alternatives.ok() && alternatives->size() > 1) {
+    std::printf("\nAlternative plans:\n");
+    for (size_t rank = 1; rank < alternatives->size(); ++rank) {
+      const GpssnAnswer& alt = (*alternatives)[rank];
+      std::printf("  #%zu: %zu POIs around POI %d, longest drive %.2f\n",
+                  rank + 1, alt.pois.size(), alt.center, alt.max_dist);
+    }
+  }
+
+  // What thresholds does this city's own data suggest? (Sec. 2.2's
+  // parameter-tuning discussion.)
+  const ParameterSuggestion suggestion =
+      SuggestParameters(db.ssn(), TuningOptions{});
+  std::printf("\nData-driven parameter suggestion for this city: "
+              "gamma=%.2f theta=%.2f r=%.2f\n",
+              suggestion.gamma, suggestion.theta, suggestion.radius);
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "common/bitvector.h"
+
+#include <bit>
+
+namespace gpssn {
+
+namespace {
+// 64-bit FNV-1a over the 4 bytes of the keyword id.
+uint64_t HashKeyword(int kw) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto v = static_cast<uint32_t>(kw);
+  for (int i = 0; i < 4; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+KeywordBitVector KeywordBitVector::FromKeywords(const std::vector<int>& keywords) {
+  KeywordBitVector v;
+  for (int kw : keywords) v.Add(kw);
+  return v;
+}
+
+int KeywordBitVector::BitFor(int kw) {
+  return static_cast<int>(HashKeyword(kw) % kBits);
+}
+
+void KeywordBitVector::Add(int kw) {
+  const int bit = BitFor(kw);
+  words_[bit >> 6] |= (1ULL << (bit & 63));
+}
+
+bool KeywordBitVector::MayContain(int kw) const {
+  const int bit = BitFor(kw);
+  return (words_[bit >> 6] >> (bit & 63)) & 1ULL;
+}
+
+void KeywordBitVector::UnionWith(const KeywordBitVector& other) {
+  for (int i = 0; i < kWords; ++i) words_[i] |= other.words_[i];
+}
+
+bool KeywordBitVector::empty() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+int KeywordBitVector::PopCount() const {
+  int count = 0;
+  for (uint64_t w : words_) count += std::popcount(w);
+  return count;
+}
+
+}  // namespace gpssn

@@ -1,0 +1,58 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Fixed-width keyword bit vectors (Section 4.1 of the paper): each keyword
+// of a POI's sup_K / sub_K set is hashed into a position of a bit vector so
+// index nodes can summarize keyword sets in constant space. A set bit may be
+// a hash collision, so membership tests only ever *over*-estimate — which is
+// exactly what the matching-score *upper* bounds (Lemmas 1 and 6) need.
+// Lower bounds (Eq. 18) must not use these vectors; they use exact keyword
+// sets of sampled objects instead.
+
+#ifndef GPSSN_COMMON_BITVECTOR_H_
+#define GPSSN_COMMON_BITVECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace gpssn {
+
+/// 256-bit keyword signature. Keywords are small integer ids (positions in
+/// the global topic vocabulary); each id is hashed to one bit position.
+class KeywordBitVector {
+ public:
+  static constexpr int kBits = 256;
+  static constexpr int kWords = kBits / 64;
+
+  KeywordBitVector() : words_{} {}
+
+  /// Builds a signature covering every keyword in `keywords`.
+  static KeywordBitVector FromKeywords(const std::vector<int>& keywords);
+
+  /// Hash position of keyword id `kw` (stable across runs).
+  static int BitFor(int kw);
+
+  void Add(int kw);
+
+  /// True when keyword `kw` MAY be present (false positives possible,
+  /// false negatives impossible).
+  bool MayContain(int kw) const;
+
+  /// Bitwise OR (union of summarized sets), used to aggregate child
+  /// signatures into non-leaf index entries.
+  void UnionWith(const KeywordBitVector& other);
+
+  bool empty() const;
+  int PopCount() const;
+
+  friend bool operator==(const KeywordBitVector& a, const KeywordBitVector& b) {
+    return a.words_ == b.words_;
+  }
+
+ private:
+  std::array<uint64_t, kWords> words_;
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_COMMON_BITVECTOR_H_

@@ -1,0 +1,67 @@
+#include "common/pagestore.h"
+
+namespace gpssn {
+
+PageAllocator::PageAllocator(uint32_t page_size) : page_size_(page_size) {
+  GPSSN_CHECK(page_size > 0);
+}
+
+PageId PageAllocator::Place(uint32_t nbytes) {
+  if (nbytes == 0) nbytes = 1;
+  if (nbytes > page_size_) {
+    // Large object: give it dedicated pages starting on a fresh page.
+    if (used_ > 0) {
+      ++next_page_;
+      used_ = 0;
+    }
+    const PageId first = next_page_;
+    next_page_ += (nbytes + page_size_ - 1) / page_size_;
+    return first;
+  }
+  if (used_ + nbytes > page_size_) {
+    ++next_page_;
+    used_ = 0;
+  }
+  const PageId page = next_page_;
+  used_ += nbytes;
+  return page;
+}
+
+uint32_t PageAllocator::PagesSpanned(uint32_t nbytes) const {
+  if (nbytes <= page_size_) return 1;
+  return (nbytes + page_size_ - 1) / page_size_;
+}
+
+BufferPool::BufferPool(uint32_t capacity_pages) : capacity_(capacity_pages) {}
+
+void BufferPool::Access(PageId page) {
+  ++stats_.logical_accesses;
+  if (capacity_ == 0) {
+    ++stats_.page_misses;
+    return;
+  }
+  auto it = table_.find(page);
+  if (it != table_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  ++stats_.page_misses;
+  lru_.push_front(page);
+  table_[page] = lru_.begin();
+  if (table_.size() > capacity_) {
+    const PageId victim = lru_.back();
+    lru_.pop_back();
+    table_.erase(victim);
+  }
+}
+
+void BufferPool::AccessRun(PageId page, uint32_t count) {
+  for (uint32_t i = 0; i < count; ++i) Access(page + i);
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  table_.clear();
+}
+
+}  // namespace gpssn

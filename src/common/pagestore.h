@@ -1,0 +1,89 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Simulated disk-resident storage. The paper's efficiency metric is the
+// number of page accesses during query answering; to reproduce it without a
+// real disk we model index nodes (and graph adjacency blocks consulted at
+// query time) as objects placed on fixed-size pages, fronted by a small LRU
+// buffer pool. Every logical object access charges the buffer pool; misses
+// count as page I/Os.
+
+#ifndef GPSSN_COMMON_PAGESTORE_H_
+#define GPSSN_COMMON_PAGESTORE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace gpssn {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = ~0u;
+
+/// Counts logical and physical accesses observed through a buffer pool.
+struct IoStats {
+  uint64_t logical_accesses = 0;  // Object fetches requested.
+  uint64_t page_misses = 0;       // Pages actually "read from disk".
+
+  void Reset() { *this = IoStats(); }
+};
+
+/// Assigns variable-size objects to sequential fixed-size pages (a simple
+/// first-fit append allocator — objects created together are co-located,
+/// mimicking how a bulk-loaded index is laid out on disk).
+class PageAllocator {
+ public:
+  /// `page_size` is the usable bytes per page; must be positive.
+  explicit PageAllocator(uint32_t page_size = 4096);
+
+  /// Places an object of `nbytes` bytes and returns its page. Objects larger
+  /// than one page occupy ceil(nbytes / page_size) pages and return the
+  /// first one (subsequent reads charge all spanned pages).
+  PageId Place(uint32_t nbytes);
+
+  /// Number of pages spanned by the object placed at `page` with `nbytes`.
+  uint32_t PagesSpanned(uint32_t nbytes) const;
+
+  uint32_t page_size() const { return page_size_; }
+  PageId num_pages() const { return next_page_ + (used_ > 0 ? 1 : 0); }
+
+ private:
+  uint32_t page_size_;
+  PageId next_page_ = 0;  // Page currently being filled.
+  uint32_t used_ = 0;     // Bytes used on the current page.
+};
+
+/// LRU buffer pool over simulated pages. Thread-compatible (external
+/// synchronization required if shared), like a per-query scratch structure.
+class BufferPool {
+ public:
+  /// `capacity_pages` == 0 disables caching (every access is a miss).
+  explicit BufferPool(uint32_t capacity_pages = 64);
+
+  /// Touches `page`; updates stats and LRU state.
+  void Access(PageId page);
+
+  /// Touches `count` consecutive pages starting at `page`.
+  void AccessRun(PageId page, uint32_t count);
+
+  /// Drops all cached pages (stats are preserved).
+  void Clear();
+
+  const IoStats& stats() const { return stats_; }
+  IoStats* mutable_stats() { return &stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  uint32_t capacity() const { return capacity_; }
+
+ private:
+  uint32_t capacity_;
+  IoStats stats_;
+  std::list<PageId> lru_;  // Front = most recently used.
+  std::unordered_map<PageId, std::list<PageId>::iterator> table_;
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_COMMON_PAGESTORE_H_

@@ -1,0 +1,75 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Result<T>: value-or-Status, the fallible-return companion of status.h.
+
+#ifndef GPSSN_COMMON_RESULT_H_
+#define GPSSN_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace gpssn {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value could not be produced. Constructing from an OK status is a
+/// programming error (there would be no value to return).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value, mirroring absl::StatusOr ergonomics.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    GPSSN_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    GPSSN_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    GPSSN_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    GPSSN_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates the error of a Result-producing expression, otherwise binds the
+// value to `lhs`.
+#define GPSSN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define GPSSN_ASSIGN_OR_RETURN(lhs, expr) \
+  GPSSN_ASSIGN_OR_RETURN_IMPL(            \
+      GPSSN_CONCAT_NAME(_gpssn_result_, __LINE__), lhs, expr)
+
+#define GPSSN_CONCAT_NAME_INNER(x, y) x##y
+#define GPSSN_CONCAT_NAME(x, y) GPSSN_CONCAT_NAME_INNER(x, y)
+
+}  // namespace gpssn
+
+#endif  // GPSSN_COMMON_RESULT_H_

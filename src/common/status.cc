@@ -1,0 +1,63 @@
+#include "common/status.h"
+
+namespace gpssn {
+
+namespace {
+const std::string& EmptyString() {
+  static const std::string* const kEmpty = new std::string();
+  return *kEmpty;
+}
+}  // namespace
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kOutOfRange:
+      return "out-of-range";
+    case StatusCode::kIoError:
+      return "io-error";
+    case StatusCode::kNotImplemented:
+      return "not-implemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    rep_ = std::make_unique<Rep>(Rep{code, std::move(message)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.rep_ != nullptr) rep_ = std::make_unique<Rep>(*other.rep_);
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    rep_ = other.rep_ == nullptr ? nullptr : std::make_unique<Rep>(*other.rep_);
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  return rep_ == nullptr ? EmptyString() : rep_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace gpssn

@@ -1,0 +1,55 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace gpssn {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  GPSSN_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  GPSSN_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto append_row = [&](std::string* out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out->append(row[c]);
+      if (c + 1 < row.size()) {
+        out->append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out->push_back('\n');
+  };
+  std::string out;
+  append_row(&out, header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out.append(widths[c], '-');
+    if (c + 1 < header_.size()) out.append(2, ' ');
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) append_row(&out, row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace gpssn

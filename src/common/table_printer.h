@@ -1,0 +1,42 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Small aligned-table printer used by the benchmark harness to emit the
+// same rows/series the paper's tables and figures report.
+
+#ifndef GPSSN_COMMON_TABLE_PRINTER_H_
+#define GPSSN_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace gpssn {
+
+/// Collects rows of string cells and prints them with aligned columns and a
+/// header rule, e.g.
+///
+///   dataset    CPU (s)   I/Os
+///   ---------  --------  -----
+///   UNI        0.0021    212
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` significant decimal digits.
+  static std::string Num(double v, int precision = 4);
+
+  /// Renders the table to a string (trailing newline included).
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_COMMON_TABLE_PRINTER_H_

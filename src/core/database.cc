@@ -1,0 +1,107 @@
+#include "core/database.h"
+
+#include "common/macros.h"
+
+namespace gpssn {
+
+GpssnDatabase::GpssnDatabase(SpatialSocialNetwork ssn)
+    : GpssnDatabase(std::move(ssn), GpssnBuildOptions{}) {}
+
+GpssnDatabase::GpssnDatabase(SpatialSocialNetwork ssn,
+                             const GpssnBuildOptions& options)
+    : ssn_(std::move(ssn)) {
+  GPSSN_CHECK_OK(ssn_.Validate());
+  GPSSN_CHECK(options.num_road_pivots >= 1);
+  GPSSN_CHECK(options.num_social_pivots >= 1);
+
+  PivotSelectOptions select = options.pivot_select;
+  select.seed = options.seed;
+  std::vector<VertexId> road_pivot_ids;
+  std::vector<UserId> social_pivot_ids;
+  if (options.optimize_pivots) {
+    road_pivot_ids =
+        SelectRoadPivots(ssn_.road(), options.num_road_pivots, select);
+    social_pivot_ids =
+        SelectSocialPivots(ssn_.social(), options.num_social_pivots, select);
+  } else {
+    road_pivot_ids =
+        RandomRoadPivots(ssn_.road(), options.num_road_pivots, options.seed);
+    social_pivot_ids = RandomSocialPivots(
+        ssn_.social(), options.num_social_pivots, options.seed);
+  }
+  road_pivots_ = RoadPivotTable(ssn_.road(), std::move(road_pivot_ids));
+  social_pivots_ = SocialPivotTable(ssn_.social(), std::move(social_pivot_ids));
+
+  PoiIndexOptions poi_options = options.poi_index;
+  poi_options.seed = options.seed;
+  poi_index_ = std::make_unique<PoiIndex>(&ssn_, &road_pivots_, poi_options);
+
+  SocialIndexOptions social_options = options.social_index;
+  social_options.seed = options.seed;
+  social_index_ = std::make_unique<SocialIndex>(&ssn_, &social_pivots_,
+                                                &road_pivots_, social_options);
+
+  processor_ =
+      std::make_unique<GpssnProcessor>(poi_index_.get(), social_index_.get());
+}
+
+GpssnDatabase::GpssnDatabase(SpatialSocialNetwork ssn,
+                             const GpssnBuildOptions& options,
+                             std::vector<VertexId> road_pivot_ids,
+                             std::vector<UserId> social_pivot_ids,
+                             std::vector<PoiAug> poi_augs)
+    : ssn_(std::move(ssn)) {
+  GPSSN_CHECK_OK(ssn_.Validate());
+  road_pivots_ = RoadPivotTable(ssn_.road(), std::move(road_pivot_ids));
+  social_pivots_ =
+      SocialPivotTable(ssn_.social(), std::move(social_pivot_ids));
+
+  PoiIndexOptions poi_options = options.poi_index;
+  poi_options.seed = options.seed;
+  poi_index_ = std::make_unique<PoiIndex>(&ssn_, &road_pivots_, poi_options,
+                                          std::move(poi_augs));
+
+  SocialIndexOptions social_options = options.social_index;
+  social_options.seed = options.seed;
+  social_index_ = std::make_unique<SocialIndex>(&ssn_, &social_pivots_,
+                                                &road_pivots_, social_options);
+
+  processor_ =
+      std::make_unique<GpssnProcessor>(poi_index_.get(), social_index_.get());
+}
+
+Result<GpssnAnswer> GpssnDatabase::Query(const GpssnQuery& query,
+                                         const QueryOptions& options,
+                                         QueryStats* stats) {
+  return processor_->Execute(query, options, stats);
+}
+
+Result<GpssnAnswer> GpssnDatabase::Query(const GpssnQuery& query,
+                                         QueryStats* stats) {
+  return processor_->Execute(query, QueryOptions{}, stats);
+}
+
+Result<std::vector<GpssnAnswer>> GpssnDatabase::QueryTopK(
+    const GpssnQuery& query, int k, const QueryOptions& options,
+    QueryStats* stats) {
+  return processor_->ExecuteTopK(query, k, options, stats);
+}
+
+Status GpssnDatabase::UpdateUserInterests(UserId u,
+                                          std::span<const double> interests) {
+  GPSSN_RETURN_NOT_OK(ssn_.UpdateUserInterests(u, interests));
+  return social_index_->UpdateUserInterests(u);
+}
+
+Result<PoiId> GpssnDatabase::AddPoi(const EdgePosition& position,
+                                    std::vector<KeywordId> keywords) {
+  GPSSN_ASSIGN_OR_RETURN(const PoiId id,
+                         ssn_.AddPoi(position, std::move(keywords)));
+  GPSSN_RETURN_NOT_OK(poi_index_->InsertPoi(id));
+  // The processor caches a POI locator; rebuild it over the grown set.
+  processor_ =
+      std::make_unique<GpssnProcessor>(poi_index_.get(), social_index_.get());
+  return id;
+}
+
+}  // namespace gpssn

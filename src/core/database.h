@@ -1,0 +1,91 @@
+// Copyright 2026 The gpssn Authors.
+//
+// GpssnDatabase: the one-stop entry point of the library. Owns a
+// spatial-social network plus everything needed to answer GP-SSN queries —
+// road/social pivot tables (selected via Algorithm 1 or at random), the two
+// indexes I_R and I_S, and a query processor.
+
+#ifndef GPSSN_CORE_DATABASE_H_
+#define GPSSN_CORE_DATABASE_H_
+
+#include <memory>
+
+#include "core/query.h"
+#include "index/pivot_select.h"
+#include "index/poi_index.h"
+#include "index/social_index.h"
+#include "ssn/spatial_social_network.h"
+
+namespace gpssn {
+
+struct GpssnBuildOptions {
+  /// Number of road-network pivots h and social-network pivots l (Table 3
+  /// default: 5).
+  int num_road_pivots = 5;
+  int num_social_pivots = 5;
+  /// Use Algorithm 1's cost-model local search (true) or random pivots.
+  bool optimize_pivots = true;
+  PivotSelectOptions pivot_select;
+  PoiIndexOptions poi_index;
+  SocialIndexOptions social_index;
+  uint64_t seed = 1;
+};
+
+/// Owns the network, the pivot tables, both indexes, and a processor.
+class GpssnDatabase {
+ public:
+  /// Builds everything offline. This is the expensive step (pivot Dijkstra
+  /// tables, per-POI ball queries, graph partitioning).
+  explicit GpssnDatabase(SpatialSocialNetwork ssn);
+  GpssnDatabase(SpatialSocialNetwork ssn, const GpssnBuildOptions& options);
+
+  /// Snapshot-loading constructor (see core/snapshot.h): reuses the pivot
+  /// ids and per-POI keyword sets of a previous build instead of
+  /// recomputing them.
+  GpssnDatabase(SpatialSocialNetwork ssn, const GpssnBuildOptions& options,
+                std::vector<VertexId> road_pivot_ids,
+                std::vector<UserId> social_pivot_ids,
+                std::vector<PoiAug> poi_augs);
+
+  GPSSN_DISALLOW_COPY_AND_MOVE(GpssnDatabase);
+
+  const SpatialSocialNetwork& ssn() const { return ssn_; }
+  const RoadPivotTable& road_pivots() const { return road_pivots_; }
+  const SocialPivotTable& social_pivots() const { return social_pivots_; }
+  const PoiIndex& poi_index() const { return *poi_index_; }
+  const SocialIndex& social_index() const { return *social_index_; }
+
+  /// Answers a GP-SSN query (see GpssnProcessor::Execute).
+  Result<GpssnAnswer> Query(const GpssnQuery& query,
+                            const QueryOptions& options,
+                            QueryStats* stats = nullptr);
+  Result<GpssnAnswer> Query(const GpssnQuery& query,
+                            QueryStats* stats = nullptr);
+
+  /// Top-k extension: the k best (S, R) pairs, ascending by maxdist_RN.
+  Result<std::vector<GpssnAnswer>> QueryTopK(const GpssnQuery& query, int k,
+                                             const QueryOptions& options,
+                                             QueryStats* stats = nullptr);
+
+  /// Dynamic maintenance: a new facility opens on an existing road edge.
+  /// Appends the POI, patches I_R (see PoiIndex::InsertPoi), and refreshes
+  /// the query processor. Returns the new POI id.
+  Result<PoiId> AddPoi(const EdgePosition& position,
+                       std::vector<KeywordId> keywords);
+
+  /// Dynamic maintenance: a user's interest profile drifted (new
+  /// check-ins). Updates the network and patches I_S's interest boxes.
+  Status UpdateUserInterests(UserId u, std::span<const double> interests);
+
+ private:
+  SpatialSocialNetwork ssn_;
+  RoadPivotTable road_pivots_;
+  SocialPivotTable social_pivots_;
+  std::unique_ptr<PoiIndex> poi_index_;
+  std::unique_ptr<SocialIndex> social_index_;
+  std::unique_ptr<GpssnProcessor> processor_;
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_CORE_DATABASE_H_

@@ -1,0 +1,74 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Query parameters (Definition 5 / Table 3) and processor options,
+// including per-rule pruning switches used by the ablation benchmarks.
+
+#ifndef GPSSN_CORE_OPTIONS_H_
+#define GPSSN_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "roadnet/types.h"
+
+namespace gpssn {
+
+/// How the common-interest score between two users is computed. The paper
+/// uses the dot product (Eq. 1) and names Jaccard similarity and Hamming
+/// distance as future work; all three are supported:
+///   kDotProduct — Eq. 1;
+///   kJaccard    — weighted Jaccard Σ_f min(w_f) / Σ_f max(w_f), in [0, 1];
+///   kHamming    — 1 − hamming(supp(a), supp(b)) / d over the topic
+///                 supports, in [0, 1] (similarity form, so the γ "at
+///                 least" predicate applies uniformly).
+enum class InterestMetric {
+  kDotProduct,
+  kJaccard,
+  kHamming,
+};
+
+/// One GP-SSN query (Definition 5).
+struct GpssnQuery {
+  /// The query issuer u_q; always a member of the answer set S.
+  UserId issuer = kInvalidUser;
+  /// Group size τ (number of users in S, issuer included).
+  int tau = 5;
+  /// Interest-score threshold γ between any two users of S.
+  double gamma = 0.3;
+  /// Metric behind γ. Note Jaccard scores live in [0, 1].
+  InterestMetric metric = InterestMetric::kDotProduct;
+  /// Matching-score threshold θ between each user of S and the POI set R.
+  double theta = 0.3;
+  /// Spatial radius r: answer POI sets are road-network balls B(o_i, r)
+  /// (pairwise distance < 2r by the triangle inequality, per Def. 5).
+  double radius = 2.0;
+};
+
+/// Individual pruning rules, switchable for ablation studies. All default
+/// on; disabling a rule never changes answers, only cost.
+struct PruningFlags {
+  bool interest_score = true;   // Lemma 3 / Corollary 1 / Lemma 8.
+  bool social_distance = true;  // Lemma 4 / Lemma 9.
+  bool match_score = true;      // Lemma 1 / Lemma 6.
+  bool road_distance = true;    // Lemma 5 / Lemma 7 / δ-based heap cut.
+};
+
+/// Processor knobs.
+struct QueryOptions {
+  PruningFlags pruning;
+  /// LRU buffer pool capacity (pages) for the I/O metric.
+  uint32_t buffer_pool_pages = 64;
+  /// Refinement safety caps (exact answers are unaffected unless a cap is
+  /// hit, which is reported in QueryStats::truncated).
+  int64_t max_groups = 100000;
+  /// Caps the number of EXACT distance evaluations in refinement.
+  int64_t max_refine_pairs = 100000;
+  /// Optional subset-sampling refinement (the paper's future-work
+  /// extension): sample connected groups instead of exhaustive enumeration.
+  bool subset_sampling = false;
+  int subset_samples = 4000;
+  uint64_t seed = 1;
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_CORE_OPTIONS_H_

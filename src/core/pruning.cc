@@ -1,0 +1,160 @@
+#include "core/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "core/scores.h"
+
+namespace gpssn {
+
+namespace {
+
+// Distance from a point value to a closed interval [lo, hi] (0 inside).
+double GapToRange(double v, double lo, double hi) {
+  if (v < lo) return lo - v;
+  if (v > hi) return v - hi;
+  return 0.0;
+}
+
+int GapToRangeInt(int v, int lo, int hi) {
+  if (v < lo) return lo - v;
+  if (v > hi) return v - hi;
+  return 0;
+}
+
+}  // namespace
+
+QueryUserContext::QueryUserContext(const GpssnQuery& q, const SocialIndex& is)
+    : query(q),
+      w_q(is.ssn().social().Interests(q.issuer).begin(),
+          is.ssn().social().Interests(q.issuer).end()),
+      region(w_q, q.gamma),
+      rp_dist(is.user_road_pivot_dists(q.issuer)) {
+  const SocialPivotTable& sp = is.social_pivots();
+  sp_hops.resize(sp.num_pivots());
+  for (int k = 0; k < sp.num_pivots(); ++k) {
+    sp_hops[k] = sp.UserToPivot(q.issuer, k);
+  }
+}
+
+bool PruneUserInterest(const QueryUserContext& ctx,
+                       std::span<const double> w_k) {
+  return UserSimilarity(ctx.query.metric, ctx.w_q, w_k) < ctx.query.gamma;
+}
+
+bool PruneUserSocialDistance(const QueryUserContext& ctx,
+                             const SocialPivotTable& pivots, UserId u_k) {
+  if (u_k == ctx.query.issuer) return false;
+  int lb = 0;
+  for (int k = 0; k < pivots.num_pivots(); ++k) {
+    const int dq = ctx.sp_hops[k];
+    const int dk = pivots.UserToPivot(u_k, k);
+    const bool rq = dq != kUnreachableHops;
+    const bool rk = dk != kUnreachableHops;
+    if (rq != rk) return true;  // Different components: unreachable.
+    if (!rq) continue;
+    lb = std::max(lb, std::abs(dq - dk));
+  }
+  return lb >= ctx.query.tau;
+}
+
+bool PruneSocialNodeInterest(const QueryUserContext& ctx,
+                             const SocialIndexNode& node) {
+  switch (ctx.query.metric) {
+    case InterestMetric::kDotProduct:
+      // The half-space pruning region of Section 3.2 (Lemma 8).
+      return ctx.region.PrunesBox(node.lb_w, node.ub_w);
+    case InterestMetric::kJaccard:
+      return UbJaccardBox(ctx.w_q, node.lb_w, node.ub_w) < ctx.query.gamma;
+    case InterestMetric::kHamming:
+      return UbHammingBox(ctx.w_q, node.lb_w, node.ub_w) < ctx.query.gamma;
+  }
+  return false;
+}
+
+int LbHopsToSocialNode(const QueryUserContext& ctx,
+                       const SocialIndexNode& node) {
+  int lb = 0;
+  for (size_t k = 0; k < ctx.sp_hops.size(); ++k) {
+    const int dq = ctx.sp_hops[k];
+    if (dq == kUnreachableHops) continue;
+    if (node.lb_sp[k] == kUnreachableHops) continue;
+    // ub may be unreachable while lb is not (mixed node); the gap to the
+    // reachable part of the range is still a valid lower bound only against
+    // lb (treat ub as unbounded then).
+    const int hi = node.ub_sp[k] == kUnreachableHops
+                       ? std::numeric_limits<int>::max()
+                       : node.ub_sp[k];
+    lb = std::max(lb, GapToRangeInt(dq, node.lb_sp[k], hi));
+  }
+  return lb;
+}
+
+bool PruneSocialNodeDistance(const QueryUserContext& ctx,
+                             const SocialIndexNode& node) {
+  return LbHopsToSocialNode(ctx, node) >= ctx.query.tau;
+}
+
+bool PrunePoiMatch(const QueryUserContext& ctx, const PoiAug& aug) {
+  return MatchScore(ctx.w_q, aug.sup_keywords) < ctx.query.theta;
+}
+
+bool PruneRoadNodeMatch(const QueryUserContext& ctx, const PoiNodeAug& aug) {
+  return UbMatchScore(ctx.w_q, aug.v_sup) < ctx.query.theta;
+}
+
+double LbMaxDistToRoadNode(const QueryUserContext& ctx,
+                           const std::vector<double>& lb_pivot,
+                           const std::vector<double>& ub_pivot) {
+  double lb = 0.0;
+  for (size_t k = 0; k < ctx.rp_dist.size(); ++k) {
+    if (!std::isfinite(ctx.rp_dist[k]) || !std::isfinite(lb_pivot[k])) {
+      continue;
+    }
+    lb = std::max(lb, GapToRange(ctx.rp_dist[k], lb_pivot[k], ub_pivot[k]));
+  }
+  return lb;
+}
+
+double LbDistToPoi(const QueryUserContext& ctx, const PoiAug& aug) {
+  double lb = 0.0;
+  for (size_t k = 0; k < ctx.rp_dist.size(); ++k) {
+    if (!std::isfinite(ctx.rp_dist[k]) || !std::isfinite(aug.pivot_dist[k])) {
+      continue;
+    }
+    lb = std::max(lb, std::abs(ctx.rp_dist[k] - aug.pivot_dist[k]));
+  }
+  return lb;
+}
+
+double UbMaxDistViaCenter(const std::vector<double>& s_ub_rp,
+                          const PoiAug& aug, double radius) {
+  GPSSN_CHECK(s_ub_rp.size() == aug.pivot_dist.size());
+  double best = kInfDistance;
+  for (size_t k = 0; k < s_ub_rp.size(); ++k) {
+    best = std::min(best, s_ub_rp[k] + aug.pivot_dist[k]);
+  }
+  return best + radius;
+}
+
+double LbUserPoiDist(const std::vector<double>& user_rp, const PoiAug& aug) {
+  double lb = 0.0;
+  for (size_t k = 0; k < user_rp.size(); ++k) {
+    if (!std::isfinite(user_rp[k]) || !std::isfinite(aug.pivot_dist[k])) {
+      continue;
+    }
+    lb = std::max(lb, std::abs(user_rp[k] - aug.pivot_dist[k]));
+  }
+  return lb;
+}
+
+double UbUserPoiDist(const std::vector<double>& user_rp, const PoiAug& aug) {
+  double ub = kInfDistance;
+  for (size_t k = 0; k < user_rp.size(); ++k) {
+    ub = std::min(ub, user_rp[k] + aug.pivot_dist[k]);
+  }
+  return ub;
+}
+
+}  // namespace gpssn

@@ -1,0 +1,100 @@
+// Copyright 2026 The gpssn Authors.
+//
+// The pruning rules of Sections 3 and 4.2, expressed as pure predicates
+// over the query context and index structures:
+//
+//   object level                      index level
+//   ------------                      -----------
+//   Lemma 1  match-score (POI)        Lemma 6  match-score (I_R node)
+//   Lemma 3  interest-score (user)    Lemma 8  interest-score (I_S node)
+//   Corollary 1 pruning region        Lemma 9  social-distance (I_S node)
+//   Corollary 2 count-based           Lemma 7 / δ  road-distance (I_R node)
+//   Lemma 4  social-distance (user)
+//   Lemma 5  road-distance (pair)
+//
+// All predicates answer "can this candidate be SAFELY discarded for the
+// given query user u_q?".
+
+#ifndef GPSSN_CORE_PRUNING_H_
+#define GPSSN_CORE_PRUNING_H_
+
+#include <vector>
+
+#include "core/options.h"
+#include "geom/pruning_region.h"
+#include "index/poi_index.h"
+#include "index/social_index.h"
+
+namespace gpssn {
+
+/// Facts about the query issuer u_q, precomputed once per query.
+struct QueryUserContext {
+  GpssnQuery query;
+  std::vector<double> w_q;        // u_q's interest vector.
+  PruningRegion region;           // PR(u_q, γ) of Section 3.2.
+  std::vector<int> sp_hops;       // dist_SN(u_q, sp_k), k = 1..l.
+  std::vector<double> rp_dist;    // dist_RN(u_q's home, rp_k), k = 1..h.
+
+  QueryUserContext(const GpssnQuery& q, const SocialIndex& is);
+};
+
+// ----- Social side -----
+
+/// Lemma 3 / Corollary 1: prune candidate u_k when
+/// Interest_Score(u_q, u_k) < γ (equivalently u_k.w ∈ PR(u_q)).
+bool PruneUserInterest(const QueryUserContext& ctx,
+                       std::span<const double> w_k);
+
+/// Lemma 4: prune u_k when the pivot lower bound of dist_SN(u_k, u_q) is
+/// >= τ (a connected τ-group containing both cannot exist).
+bool PruneUserSocialDistance(const QueryUserContext& ctx,
+                             const SocialPivotTable& pivots, UserId u_k);
+
+/// Lemma 8: prune node e_S when every interest vector in its lb/ub box is
+/// inside PR(u_q).
+bool PruneSocialNodeInterest(const QueryUserContext& ctx,
+                             const SocialIndexNode& node);
+
+/// Eq. 19: pivot lower bound of dist_SN(u_q, e_S).
+int LbHopsToSocialNode(const QueryUserContext& ctx,
+                       const SocialIndexNode& node);
+
+/// Lemma 9: prune node e_S when lb_dist_SN(u_q, e_S) >= τ.
+bool PruneSocialNodeDistance(const QueryUserContext& ctx,
+                             const SocialIndexNode& node);
+
+// ----- Road side -----
+
+/// Lemma 1 (object level, exact sup_K set): prune POI o_i as a ball center
+/// when Match_Score(u_q, sup_K(o_i)) < θ. sup_K covers B(o_i, 2·r_max) ⊇
+/// any answer ball containing o_i, so this never discards a feasible
+/// center.
+bool PrunePoiMatch(const QueryUserContext& ctx, const PoiAug& aug);
+
+/// Lemma 6 / Eq. 15: prune I_R node e_R when the bit-vector upper bound of
+/// the matching score w.r.t. u_q is below θ.
+bool PruneRoadNodeMatch(const QueryUserContext& ctx, const PoiNodeAug& aug);
+
+/// Eq. 17 (node form): pivot lower bound of max-distance between u_q and
+/// any POI under a node with per-pivot bounds [lb_pivot, ub_pivot].
+double LbMaxDistToRoadNode(const QueryUserContext& ctx,
+                           const std::vector<double>& lb_pivot,
+                           const std::vector<double>& ub_pivot);
+
+/// Eq. 17 (object form): pivot lower bound of dist_RN(u_q, o_i).
+double LbDistToPoi(const QueryUserContext& ctx, const PoiAug& aug);
+
+/// Eq. 16 (object form): pivot upper bound of maxdist(S, B(o_i, radius)),
+/// where `s_ub_rp[k]` upper-bounds the distance of every candidate user to
+/// pivot k.
+double UbMaxDistViaCenter(const std::vector<double>& s_ub_rp,
+                          const PoiAug& aug, double radius);
+
+/// Exact-table pair bounds (Lemma 5 helpers used in refinement):
+/// lower/upper bounds of dist_RN(user, o_i) via pivots.
+double LbUserPoiDist(const std::vector<double>& user_rp, const PoiAug& aug);
+double UbUserPoiDist(const std::vector<double>& user_rp, const PoiAug& aug);
+
+}  // namespace gpssn
+
+#endif  // GPSSN_CORE_PRUNING_H_

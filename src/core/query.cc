@@ -1,0 +1,573 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/timer.h"
+#include "core/pruning.h"
+#include "core/refinement.h"
+#include "core/scores.h"
+
+namespace gpssn {
+
+namespace {
+
+// Min-heap entry of the I_R traversal: (key, node), key = lb of the
+// maximum distance (Eq. 17).
+using HeapEntry = std::pair<double, RNodeId>;
+struct HeapGreater {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return a.first > b.first;
+  }
+};
+using RoadHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapGreater>;
+
+// Cached per-center refinement data.
+struct CenterInfo {
+  std::vector<PoiId> ball;                 // R = B(o_i, r), sorted.
+  std::vector<std::pair<PoiId, double>> ball_dists;  // From the center.
+  std::vector<KeywordId> union_keywords;   // ∪_{o∈R} o.K.
+  bool issuer_matches = false;
+};
+
+}  // namespace
+
+GpssnProcessor::GpssnProcessor(const PoiIndex* poi_index,
+                               const SocialIndex* social_index)
+    : poi_index_(poi_index),
+      social_index_(social_index),
+      engine_(&poi_index->ssn().road()),
+      bfs_(&poi_index->ssn().social()),
+      locator_(&poi_index->ssn().road(), &poi_index->ssn().pois()) {
+  GPSSN_CHECK(poi_index != nullptr && social_index != nullptr);
+  GPSSN_CHECK(&poi_index->ssn() == &social_index->ssn());
+}
+
+Result<GpssnAnswer> GpssnProcessor::Execute(const GpssnQuery& query,
+                                            const QueryOptions& options,
+                                            QueryStats* stats) {
+  const SpatialSocialNetwork& ssn = poi_index_->ssn();
+  if (query.issuer < 0 || query.issuer >= ssn.num_users()) {
+    return Status::InvalidArgument("query issuer out of range");
+  }
+  if (query.tau < 1 || query.tau > ssn.num_users()) {
+    return Status::InvalidArgument("group size tau out of range");
+  }
+  if (query.gamma < 0.0 || query.theta < 0.0) {
+    return Status::InvalidArgument("negative score threshold");
+  }
+  if (query.radius < poi_index_->options().r_min ||
+      query.radius > poi_index_->options().r_max) {
+    return Status::InvalidArgument(
+        "radius outside the index's [r_min, r_max] envelope");
+  }
+
+  QueryStats local;
+  QueryStats* out = stats != nullptr ? stats : &local;
+  *out = QueryStats();
+  WallTimer timer;
+
+  double final_delta = kInfDistance;
+  std::vector<GpssnAnswer> top =
+      ExecuteImpl(query, options, /*top_k=*/1, out, &final_delta);
+  GpssnAnswer answer = top.empty() ? GpssnAnswer() : std::move(top.front());
+
+  // δ-cut exactness check (see the header comment): if the best found
+  // objective exceeds the final δ — or nothing was found although the cut
+  // pruned candidates — re-run without the cut.
+  const bool delta_was_used =
+      options.pruning.road_distance &&
+      (out->road_nodes_pruned_distance > 0 || out->pois_pruned_distance > 0);
+  if (delta_was_used &&
+      (!answer.found || answer.max_dist > final_delta + 1e-12)) {
+    QueryOptions relaxed = options;
+    relaxed.pruning.road_distance = false;
+    QueryStats rerun_stats;
+    double unused = kInfDistance;
+    std::vector<GpssnAnswer> rerun =
+        ExecuteImpl(query, relaxed, /*top_k=*/1, &rerun_stats, &unused);
+    GpssnAnswer exact = rerun.empty() ? GpssnAnswer() : std::move(rerun.front());
+    // Keep the first run's pruning counters (they describe the indexed
+    // fast path) but charge the extra I/O and refinement work.
+    out->io.logical_accesses += rerun_stats.io.logical_accesses;
+    out->io.page_misses += rerun_stats.io.page_misses;
+    out->pairs_examined += rerun_stats.pairs_examined;
+    out->exact_distance_evals += rerun_stats.exact_distance_evals;
+    out->truncated = out->truncated || rerun_stats.truncated;
+    if (exact.found &&
+        (!answer.found || exact.max_dist < answer.max_dist)) {
+      answer = std::move(exact);
+    }
+  }
+
+  out->cpu_seconds = timer.ElapsedSeconds();
+  return answer;
+}
+
+Result<std::vector<GpssnAnswer>> GpssnProcessor::ExecuteTopK(
+    const GpssnQuery& query, int k, const QueryOptions& options,
+    QueryStats* stats) {
+  if (k < 1) return Status::InvalidArgument("top-k requires k >= 1");
+  if (k == 1) {
+    GPSSN_ASSIGN_OR_RETURN(GpssnAnswer answer,
+                           Execute(query, options, stats));
+    std::vector<GpssnAnswer> out;
+    if (answer.found) out.push_back(std::move(answer));
+    return out;
+  }
+  // Validate through the single-answer path's checks by reusing Execute's
+  // precondition tests.
+  const SpatialSocialNetwork& ssn = poi_index_->ssn();
+  if (query.issuer < 0 || query.issuer >= ssn.num_users() || query.tau < 1 ||
+      query.gamma < 0.0 || query.theta < 0.0 ||
+      query.radius < poi_index_->options().r_min ||
+      query.radius > poi_index_->options().r_max) {
+    return Status::InvalidArgument("malformed GP-SSN query");
+  }
+  QueryStats local;
+  QueryStats* out = stats != nullptr ? stats : &local;
+  *out = QueryStats();
+  WallTimer timer;
+  // The δ cut is only safe for the single optimum; disable it for k > 1.
+  QueryOptions relaxed = options;
+  relaxed.pruning.road_distance = false;
+  double unused = kInfDistance;
+  std::vector<GpssnAnswer> results =
+      ExecuteImpl(query, relaxed, k, out, &unused);
+  out->cpu_seconds = timer.ElapsedSeconds();
+  return results;
+}
+
+std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
+                                                     const QueryOptions& options,
+                                                     int top_k,
+                                                     QueryStats* stats,
+                                                     double* final_delta) {
+  const SpatialSocialNetwork& ssn = poi_index_->ssn();
+  const SocialNetwork& social = ssn.social();
+  const PruningFlags& flags = options.pruning;
+  BufferPool pool(options.buffer_pool_pages);
+  QueryUserContext ctx(query, *social_index_);
+
+  // Exact hop labels around u_q (Lemma 4 with exact distances): any member
+  // of a connected τ-group containing u_q is within τ−1 hops of u_q, so a
+  // bounded BFS gives an exact object-level social-distance filter. It runs
+  // against the in-memory friendship adjacency (social graphs fit in RAM;
+  // the paper's disk-resident structures are the two indexes), so it does
+  // not charge page I/O.
+  if (flags.social_distance) {
+    bfs_.Run(query.issuer, query.tau - 1);
+  }
+
+  // ---------------------------------------------------------------- Phase 1
+  // Algorithm 2 lines 1-28: synchronized index traversal.
+  std::vector<SNodeId> s_frontier = {social_index_->root()};
+  std::vector<UserId> user_cands;
+  std::vector<PoiId> r_cand;
+  double delta = kInfDistance;
+
+  // Upper bound of dist(candidate user, rp_k) over the current S-side
+  // frontier (used by Eq. 16 / δ updates). Always covers u_q.
+  const int h = poi_index_->pivots().num_pivots();
+  std::vector<double> s_ub_rp = ctx.rp_dist;
+  auto refresh_s_ub = [&]() {
+    s_ub_rp = ctx.rp_dist;
+    for (SNodeId id : s_frontier) {
+      const SocialIndexNode& node = social_index_->node(id);
+      for (int k = 0; k < h; ++k) {
+        s_ub_rp[k] = std::max(s_ub_rp[k], node.ub_rp[k]);
+      }
+    }
+  };
+  refresh_s_ub();
+
+  RoadHeap heap;
+  heap.push({0.0, poi_index_->tree().root()});
+
+  // One "round" of the I_R traversal: drains the heap into the next-level
+  // heap (Algorithm 2 lines 11-26), pruning with the CURRENT S-side bounds.
+  auto process_ir_round = [&]() {
+    RoadHeap next;
+    while (!heap.empty()) {
+      const auto [key, node_id] = heap.top();
+      heap.pop();
+      if (flags.road_distance && key > delta) {
+        // Line 14: every remaining entry has key >= this one.
+        const PoiNodeAug& aug = poi_index_->node_aug(node_id);
+        ++stats->road_nodes_pruned_distance;
+        stats->pois_pruned_at_index_level += aug.subtree_pois;
+        while (!heap.empty()) {
+          ++stats->road_nodes_pruned_distance;
+          stats->pois_pruned_at_index_level +=
+              poi_index_->node_aug(heap.top().second).subtree_pois;
+          heap.pop();
+        }
+        break;
+      }
+      const RTreeNode& node = poi_index_->tree().node(node_id);
+      ++stats->road_nodes_visited;
+      pool.Access(poi_index_->node_aug(node_id).page);
+      if (node.is_leaf()) {
+        for (const RTreeEntry& e : node.entries) {
+          ++stats->pois_seen;
+          pool.Access(poi_index_->poi_page(e.id));
+          const PoiAug& aug = poi_index_->poi_aug(e.id);
+          if (flags.match_score && PrunePoiMatch(ctx, aug)) {
+            ++stats->pois_pruned_match;
+            continue;
+          }
+          const double lb = LbDistToPoi(ctx, aug);
+          if (flags.road_distance && lb > delta) {
+            ++stats->pois_pruned_distance;
+            continue;
+          }
+          r_cand.push_back(e.id);
+          // δ update (line 20), guarded by the Eq. 18-style lower-bound
+          // feasibility check: u_q must already match the inner ball.
+          if (MatchScore(ctx.w_q, aug.sub_keywords) >= query.theta) {
+            delta = std::min(
+                delta, UbMaxDistViaCenter(s_ub_rp, aug, query.radius));
+          }
+        }
+      } else {
+        for (const RTreeEntry& e : node.entries) {
+          const PoiNodeAug& child = poi_index_->node_aug(e.id);
+          if (flags.match_score && PruneRoadNodeMatch(ctx, child)) {
+            ++stats->road_nodes_pruned_match;
+            stats->pois_pruned_at_index_level += child.subtree_pois;
+            continue;
+          }
+          const double lb =
+              LbMaxDistToRoadNode(ctx, child.lb_pivot, child.ub_pivot);
+          if (flags.road_distance && lb > delta) {
+            ++stats->road_nodes_pruned_distance;
+            stats->pois_pruned_at_index_level += child.subtree_pois;
+            continue;
+          }
+          next.push({lb, e.id});
+        }
+      }
+    }
+    heap = std::move(next);
+  };
+
+  // Descend I_S level by level (lines 4-10), one I_R round per level.
+  {
+    // The root itself is visited unconditionally.
+    ++stats->social_nodes_visited;
+    pool.Access(social_index_->node(social_index_->root()).page);
+  }
+  for (int level = social_index_->height() - 1; level >= 1; --level) {
+    std::vector<SNodeId> next_frontier;
+    for (SNodeId id : s_frontier) {
+      const SocialIndexNode& node = social_index_->node(id);
+      for (SNodeId child_id : node.children) {
+        const SocialIndexNode& child = social_index_->node(child_id);
+        ++stats->social_nodes_visited;
+        pool.Access(child.page);
+        if (flags.interest_score && PruneSocialNodeInterest(ctx, child)) {
+          ++stats->social_nodes_pruned_interest;
+          stats->users_pruned_at_index_level += child.subtree_users;
+          continue;
+        }
+        if (flags.social_distance && PruneSocialNodeDistance(ctx, child)) {
+          ++stats->social_nodes_pruned_distance;
+          stats->users_pruned_at_index_level += child.subtree_users;
+          continue;
+        }
+        next_frontier.push_back(child_id);
+      }
+    }
+    s_frontier = std::move(next_frontier);
+    refresh_s_ub();
+    process_ir_round();
+  }
+
+  // I_S leaf level: object-level user pruning (Section 3.2).
+  for (SNodeId id : s_frontier) {
+    const SocialIndexNode& leaf = social_index_->node(id);
+    for (UserId u : leaf.users) {
+      ++stats->users_seen;
+      pool.Access(social_index_->user_page(u));
+      if (u == query.issuer) {
+        user_cands.push_back(u);
+        continue;
+      }
+      // The hop filter is cheaper (two array lookups) than the interest dot
+      // product, so it runs first.
+      if (flags.social_distance &&
+          (PruneUserSocialDistance(ctx, social_index_->social_pivots(), u) ||
+           bfs_.Hops(u) >= query.tau)) {
+        ++stats->users_pruned_distance;
+        continue;
+      }
+      if (flags.interest_score &&
+          PruneUserInterest(ctx, social.Interests(u))) {
+        ++stats->users_pruned_interest;
+        continue;
+      }
+      user_cands.push_back(u);
+    }
+  }
+  // Ensure the issuer survives even if its leaf was (incorrectly
+  // aggressively) pruned at node level — u_q is in S by definition.
+  if (std::find(user_cands.begin(), user_cands.end(), query.issuer) ==
+      user_cands.end()) {
+    user_cands.push_back(query.issuer);
+  }
+
+  // Remaining I_R levels (lines 27-28).
+  int guard = poi_index_->height() + 2;
+  while (!heap.empty() && guard-- > 0) process_ir_round();
+
+  stats->users_candidates = user_cands.size();
+  stats->pois_candidates = r_cand.size();
+
+  // ---------------------------------------------------------------- Phase 2
+  // Refinement (lines 29-31).
+
+  // δ-based user filter (Lemma 5 applied user-side): any member u of a
+  // group achieving objective <= δ satisfies dist(u, center) <= δ for the
+  // answer's center (the center lies in its own ball), so users whose
+  // pivot lower bound exceeds δ against EVERY candidate center cannot
+  // appear in a δ-beating answer. Safe under the same a-posteriori δ check
+  // as the traversal cut (Execute re-runs without road-distance pruning
+  // when the check fails).
+  if (flags.road_distance && std::isfinite(delta) && !r_cand.empty()) {
+    std::vector<UserId> kept;
+    kept.reserve(user_cands.size());
+    for (UserId u : user_cands) {
+      if (u == query.issuer) {
+        kept.push_back(u);
+        continue;
+      }
+      const auto& rp = social_index_->user_road_pivot_dists(u);
+      bool reachable = false;
+      for (PoiId c : r_cand) {
+        if (LbUserPoiDist(rp, poi_index_->poi_aug(c)) <= delta) {
+          reachable = true;
+          break;
+        }
+      }
+      if (reachable) {
+        kept.push_back(u);
+      } else {
+        ++stats->users_pruned_distance;
+      }
+    }
+    user_cands = std::move(kept);
+  }
+
+  if (flags.interest_score) {
+    ApplyCorollary2(social, query, &user_cands, stats);
+  }
+
+  std::vector<std::vector<UserId>> groups;
+  if (options.subset_sampling) {
+    SampleGroups(social, query, user_cands, options.subset_samples,
+                 options.seed, &groups);
+  } else {
+    if (!EnumerateGroups(social, query, user_cands, options.max_groups,
+                         &groups)) {
+      stats->truncated = true;
+    }
+  }
+  stats->groups_enumerated = groups.size();
+
+  // Up to top_k answers, kept sorted by ascending objective.
+  std::vector<GpssnAnswer> best;
+  auto bound = [&]() {
+    return static_cast<int>(best.size()) < top_k ? kInfDistance
+                                                 : best.back().max_dist;
+  };
+  if (groups.empty() || r_cand.empty()) {
+    stats->io.logical_accesses += pool.stats().logical_accesses;
+    stats->io.page_misses += pool.stats().page_misses;
+    *final_delta = delta;
+    return best;
+  }
+
+  // Candidate centers, initially ordered by the issuer's pivot lower bound
+  // (re-ordered by EXACT issuer distances below, once balls materialize).
+  std::vector<std::pair<double, PoiId>> centers;
+  centers.reserve(r_cand.size());
+  for (PoiId id : r_cand) {
+    centers.emplace_back(LbDistToPoi(ctx, poi_index_->poi_aug(id)), id);
+  }
+  std::sort(centers.begin(), centers.end());
+
+  // Per-user exact distances to ball-member POIs, computed lazily with one
+  // bounded Dijkstra per user (bound = best objective at compute time; a
+  // missing entry therefore proves the pair cannot beat the best).
+  std::unordered_map<UserId, std::unordered_map<PoiId, double>> user_dist;
+  std::unordered_map<PoiId, CenterInfo> center_cache;
+  // (user, center) match memo: 1 = matches, 0 = fails, absent = unknown.
+  std::unordered_map<uint64_t, bool> match_memo;
+
+  // All ball members of surviving centers, filled as balls materialize.
+  std::vector<char> poi_needed(ssn.num_pois(), 0);
+  std::vector<PoiId> needed_pois;
+
+  // Materialize every candidate center's ball up front so the per-user
+  // distance memo can treat "POI not in my map" as a proof of
+  // "distance exceeds the bound I was computed with".
+  auto get_center = [&](PoiId c) -> const CenterInfo& {
+    auto it = center_cache.find(c);
+    if (it != center_cache.end()) return it->second;
+    CenterInfo info;
+    info.ball_dists = locator_.BallWithDistances(ssn.poi(c).position,
+                                                 query.radius, &engine_);
+    for (const auto& [id, dist] : info.ball_dists) {
+      info.ball.push_back(id);
+      if (!poi_needed[id]) {
+        poi_needed[id] = 1;
+        needed_pois.push_back(id);
+      }
+      pool.Access(poi_index_->poi_page(id));
+    }
+    std::sort(info.ball.begin(), info.ball.end());
+    info.union_keywords = UnionKeywords(ssn, info.ball);
+    info.issuer_matches =
+        MatchScore(ctx.w_q, info.union_keywords) >= query.theta;
+    return center_cache.emplace(c, std::move(info)).first->second;
+  };
+
+  auto get_user_dists =
+      [&](UserId u, double bound) -> const std::unordered_map<PoiId, double>& {
+    auto it = user_dist.find(u);
+    if (it != user_dist.end()) return it->second;
+    engine_.RunFromPosition(ssn.user_home(u), bound);
+    ++stats->exact_distance_evals;
+    std::unordered_map<PoiId, double> dists;
+    for (PoiId id : needed_pois) {
+      const double d = engine_.DistanceToPosition(ssn.poi(id).position);
+      double exact = d;
+      const double same_edge =
+          SameEdgeDistance(ssn.road(), ssn.user_home(u), ssn.poi(id).position);
+      exact = std::min(exact, same_edge);
+      if (exact <= bound) dists.emplace(id, exact);
+    }
+    // Charge the traversal of the user's neighbourhood (adjacency pages).
+    pool.Access(social_index_->user_page(u));
+    return user_dist.emplace(u, std::move(dists)).first->second;
+  };
+
+  for (const auto& [center_lb, c] : centers) get_center(c);
+
+  // One exact Dijkstra from the issuer (bounded by δ) upgrades the center
+  // ordering from pivot lower bounds to the exact issuer-side objective
+  // contribution max_{o∈ball} dist(u_q, o): the objective of any pair at
+  // center c is at least that, since u_q ∈ S. Centers beyond the bound are
+  // dropped outright (covered by the δ a-posteriori check / fallback).
+  {
+    const auto& issuer_dists = get_user_dists(query.issuer, delta);
+    std::vector<std::pair<double, PoiId>> exact_centers;
+    exact_centers.reserve(centers.size());
+    for (const auto& [center_lb, c] : centers) {
+      const CenterInfo& info = get_center(c);
+      double worst = 0.0;
+      bool in_range = !info.ball.empty();
+      for (PoiId o : info.ball) {
+        auto it = issuer_dists.find(o);
+        if (it == issuer_dists.end()) {
+          in_range = false;  // Beyond δ (or unreachable): cannot beat it.
+          break;
+        }
+        worst = std::max(worst, it->second);
+      }
+      if (in_range) exact_centers.emplace_back(worst, c);
+    }
+    std::sort(exact_centers.begin(), exact_centers.end());
+    centers = std::move(exact_centers);
+  }
+
+  int64_t pair_budget = options.max_refine_pairs;
+  for (const auto& [center_lb, c] : centers) {
+    if (center_lb >= bound()) break;
+    const CenterInfo& info = get_center(c);
+    if (info.ball.empty()) continue;
+    if (!info.issuer_matches) continue;
+    const PoiAug& center_aug = poi_index_->poi_aug(c);
+
+    for (const auto& group : groups) {
+      // Pivot lower bound of the pair objective (Lemma 5).
+      double pair_lb = center_lb;
+      for (UserId u : group) {
+        pair_lb = std::max(
+            pair_lb,
+            LbUserPoiDist(social_index_->user_road_pivot_dists(u),
+                          center_aug));
+      }
+      if (pair_lb >= bound()) continue;
+
+      // Matching-score predicate for every member (memoized).
+      bool all_match = true;
+      for (UserId u : group) {
+        const uint64_t key =
+            (static_cast<uint64_t>(u) << 32) | static_cast<uint32_t>(c);
+        auto mit = match_memo.find(key);
+        bool ok;
+        if (mit != match_memo.end()) {
+          ok = mit->second;
+        } else {
+          ok = MatchScore(social.Interests(u), info.union_keywords) >=
+               query.theta;
+          match_memo.emplace(key, ok);
+        }
+        if (!ok) {
+          all_match = false;
+          break;
+        }
+      }
+      if (!all_match) continue;
+
+      // Exact objective: maxdist_RN(S, B(c, r)). The budget caps only these
+      // expensive evaluations; lower-bound skips above are O(h) and free.
+      if (--pair_budget < 0) {
+        stats->truncated = true;
+        break;
+      }
+      ++stats->pairs_examined;
+      double obj = 0.0;
+      bool feasible = true;
+      for (UserId u : group) {
+        const auto& dists = get_user_dists(u, bound());
+        for (PoiId o : info.ball) {
+          auto dit = dists.find(o);
+          if (dit == dists.end()) {
+            feasible = false;  // Distance beyond the bound: cannot win.
+            break;
+          }
+          obj = std::max(obj, dit->second);
+        }
+        if (!feasible || obj >= bound()) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      GpssnAnswer answer;
+      answer.found = true;
+      answer.users = group;
+      answer.center = c;
+      answer.pois = info.ball;
+      answer.max_dist = obj;
+      auto it = std::upper_bound(
+          best.begin(), best.end(), obj,
+          [](double v, const GpssnAnswer& a) { return v < a.max_dist; });
+      best.insert(it, std::move(answer));
+      if (static_cast<int>(best.size()) > top_k) best.pop_back();
+    }
+    if (pair_budget < 0) break;
+  }
+
+  stats->io.logical_accesses += pool.stats().logical_accesses;
+  stats->io.page_misses += pool.stats().page_misses;
+  *final_delta = delta;
+  return best;
+}
+
+}  // namespace gpssn

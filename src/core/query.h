@@ -1,0 +1,81 @@
+// Copyright 2026 The gpssn Authors.
+//
+// The GP-SSN query answering algorithm (Algorithm 2): a level-synchronized
+// descent of the social index I_S interleaved with a best-first (min-heap)
+// traversal of the POI index I_R, followed by refinement of the surviving
+// candidate user/POI sets. Returns the pair (S, R) minimizing
+// maxdist_RN(S, R) subject to every predicate of Definition 5.
+//
+// Exactness: every pruning rule except the δ-based road-distance cut is
+// individually safe. The δ cut (line 14 of Algorithm 2) is safe whenever
+// the δ-defining candidate admits a feasible group; the processor verifies
+// this a posteriori (best found objective <= final δ) and transparently
+// re-executes with the cut disabled in the rare case the check fails, so
+// answers are always exact (unless a refinement cap was hit, which is
+// reported via QueryStats::truncated).
+
+#ifndef GPSSN_CORE_QUERY_H_
+#define GPSSN_CORE_QUERY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/options.h"
+#include "core/stats.h"
+#include "index/poi_index.h"
+#include "index/social_index.h"
+#include "roadnet/shortest_path.h"
+#include "socialnet/bfs.h"
+
+namespace gpssn {
+
+/// A GP-SSN answer: the user group S, the ball center o_i, and the POI set
+/// R = B(o_i, r).
+struct GpssnAnswer {
+  bool found = false;
+  std::vector<UserId> users;  // S, sorted, contains the issuer.
+  PoiId center = kInvalidPoi;
+  std::vector<PoiId> pois;    // R, sorted.
+  double max_dist = kInfDistance;  // maxdist_RN(S, R), the objective.
+};
+
+/// Query processor bound to one pair of indexes. Owns reusable Dijkstra /
+/// BFS arenas; not thread-safe (one processor per thread).
+class GpssnProcessor {
+ public:
+  /// Both indexes must be built over the same SpatialSocialNetwork and
+  /// must outlive the processor.
+  GpssnProcessor(const PoiIndex* poi_index, const SocialIndex* social_index);
+
+  /// Answers one GP-SSN query. On success `stats` (optional) carries CPU
+  /// time, page I/Os, and pruning counters. Returns InvalidArgument for
+  /// malformed queries (bad issuer, τ < 1, radius outside the index's
+  /// [r_min, r_max] envelope).
+  Result<GpssnAnswer> Execute(const GpssnQuery& query,
+                              const QueryOptions& options,
+                              QueryStats* stats = nullptr);
+
+  /// Top-k extension: the k best (S, R) pairs ordered by ascending
+  /// maxdist_RN (fewer when fewer feasible pairs exist). For k > 1 the
+  /// δ-based road-distance cut is disabled internally (it is only safe for
+  /// the single optimum), so top-k queries trade some pruning for
+  /// completeness.
+  Result<std::vector<GpssnAnswer>> ExecuteTopK(const GpssnQuery& query, int k,
+                                               const QueryOptions& options,
+                                               QueryStats* stats = nullptr);
+
+ private:
+  std::vector<GpssnAnswer> ExecuteImpl(const GpssnQuery& query,
+                                       const QueryOptions& options, int top_k,
+                                       QueryStats* stats, double* final_delta);
+
+  const PoiIndex* poi_index_;
+  const SocialIndex* social_index_;
+  DijkstraEngine engine_;
+  BfsEngine bfs_;
+  PoiLocator locator_;
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_CORE_QUERY_H_

@@ -1,0 +1,278 @@
+#include "core/refinement.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "core/scores.h"
+
+namespace gpssn {
+
+namespace {
+
+// Sparse view of an interest vector: the nonzero (topic, weight) entries
+// plus the total weight. Real interest vectors hold a handful of topics, so
+// pairwise scores via sorted-merge are ~25x cheaper than dense loops.
+struct SparseInterests {
+  std::vector<std::pair<int, double>> entries;  // Sorted by topic.
+  double total = 0.0;
+  int dim = 0;
+
+  static SparseInterests From(std::span<const double> w) {
+    SparseInterests out;
+    out.dim = static_cast<int>(w.size());
+    for (size_t f = 0; f < w.size(); ++f) {
+      if (w[f] > 0.0) {
+        out.entries.emplace_back(static_cast<int>(f), w[f]);
+        out.total += w[f];
+      }
+    }
+    return out;
+  }
+};
+
+double SparseSimilarity(InterestMetric metric, const SparseInterests& a,
+                        const SparseInterests& b) {
+  double dot = 0.0, min_sum = 0.0;
+  int common_support = 0;
+  size_t i = 0, j = 0;
+  while (i < a.entries.size() && j < b.entries.size()) {
+    if (a.entries[i].first < b.entries[j].first) {
+      ++i;
+    } else if (a.entries[i].first > b.entries[j].first) {
+      ++j;
+    } else {
+      dot += a.entries[i].second * b.entries[j].second;
+      min_sum += std::min(a.entries[i].second, b.entries[j].second);
+      ++common_support;
+      ++i;
+      ++j;
+    }
+  }
+  switch (metric) {
+    case InterestMetric::kDotProduct:
+      return dot;
+    case InterestMetric::kJaccard: {
+      // Weighted Jaccard via Σmax = Σa + Σb − Σmin (non-negative entries).
+      const double max_sum = a.total + b.total - min_sum;
+      return max_sum > 0.0 ? min_sum / max_sum : 1.0;
+    }
+    case InterestMetric::kHamming: {
+      if (a.dim == 0) return 1.0;
+      const int mismatches = static_cast<int>(a.entries.size()) +
+                             static_cast<int>(b.entries.size()) -
+                             2 * common_support;
+      return 1.0 - static_cast<double>(mismatches) / a.dim;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+void ApplyCorollary2(const SocialNetwork& social, const GpssnQuery& query,
+                     std::vector<UserId>* candidates, QueryStats* stats) {
+  const size_t count = candidates->size();
+  if (count == 0) return;
+  // fail_threshold = |S'| − τ + 1 (Corollary 2).
+  const int64_t fail_threshold =
+      static_cast<int64_t>(count) - query.tau + 1;
+  if (fail_threshold <= 0) return;
+  std::vector<SparseInterests> sparse(count);
+  for (size_t i = 0; i < count; ++i) {
+    sparse[i] = SparseInterests::From(social.Interests((*candidates)[i]));
+  }
+  std::vector<bool> pruned(count, false);
+  std::vector<int64_t> failures(count, 0);
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t j = i + 1; j < count; ++j) {
+      if (SparseSimilarity(query.metric, sparse[i], sparse[j]) <
+          query.gamma) {
+        ++failures[i];
+        ++failures[j];
+      }
+    }
+  }
+  std::vector<UserId> kept;
+  kept.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const UserId u = (*candidates)[i];
+    if (u != query.issuer && failures[i] >= fail_threshold) {
+      pruned[i] = true;
+      if (stats != nullptr) ++stats->users_pruned_corollary2;
+      continue;
+    }
+    kept.push_back(u);
+  }
+  *candidates = std::move(kept);
+}
+
+namespace {
+
+/// Shared state of the ESU-style enumeration.
+class GroupEnumerator {
+ public:
+  GroupEnumerator(const SocialNetwork& social, const GpssnQuery& query,
+                  const std::vector<UserId>& candidates, int64_t max_groups,
+                  std::vector<std::vector<UserId>>* out)
+      : social_(social),
+        query_(query),
+        max_groups_(max_groups),
+        out_(out),
+        in_candidates_(social.num_users(), false),
+        seen_(social.num_users(), false),
+        sparse_(social.num_users()) {
+    for (UserId u : candidates) in_candidates_[u] = true;
+    in_candidates_[query.issuer] = true;
+    for (UserId u = 0; u < social.num_users(); ++u) {
+      if (in_candidates_[u]) {
+        sparse_[u] = SparseInterests::From(social.Interests(u));
+      }
+    }
+  }
+
+  /// Returns false when truncated by max_groups.
+  bool Run() {
+    sub_.push_back(query_.issuer);
+    seen_[query_.issuer] = true;
+    std::vector<UserId> ext;
+    for (UserId v : social_.Friends(query_.issuer)) {
+      if (in_candidates_[v] && !seen_[v]) {
+        seen_[v] = true;
+        ext.push_back(v);
+        rollback_.push_back(v);
+      }
+    }
+    const bool complete = Extend(&ext);
+    return complete;
+  }
+
+ private:
+  bool Extend(std::vector<UserId>* ext) {
+    if (static_cast<int>(sub_.size()) == query_.tau) {
+      std::vector<UserId> group = sub_;
+      std::sort(group.begin(), group.end());
+      out_->push_back(std::move(group));
+      return static_cast<int64_t>(out_->size()) < max_groups_;
+    }
+    // ESU: repeatedly take one extension vertex; sibling branches never see
+    // it again (uniqueness), and its exclusive neighbors join the extension.
+    std::vector<UserId> local = *ext;
+    while (!local.empty()) {
+      const UserId w = local.back();
+      local.pop_back();
+      // Pairwise interest predicate: any group containing w must pass γ
+      // against every current member.
+      bool compatible = true;
+      for (UserId member : sub_) {
+        if (SparseSimilarity(query_.metric, sparse_[w], sparse_[member]) <
+            query_.gamma) {
+          compatible = false;
+          break;
+        }
+      }
+      if (!compatible) continue;
+
+      // Exclusive neighbors of w (never seen along this path).
+      const size_t rollback_mark = rollback_.size();
+      std::vector<UserId> next = local;
+      for (UserId v : social_.Friends(w)) {
+        if (in_candidates_[v] && !seen_[v]) {
+          seen_[v] = true;
+          rollback_.push_back(v);
+          next.push_back(v);
+        }
+      }
+      sub_.push_back(w);
+      const bool keep_going = Extend(&next);
+      sub_.pop_back();
+      // Un-see the vertices this branch introduced (w itself stays seen for
+      // the remaining siblings — ESU uniqueness).
+      while (rollback_.size() > rollback_mark) {
+        seen_[rollback_.back()] = false;
+        rollback_.pop_back();
+      }
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const SocialNetwork& social_;
+  const GpssnQuery& query_;
+  int64_t max_groups_;
+  std::vector<std::vector<UserId>>* out_;
+  std::vector<bool> in_candidates_;
+  std::vector<bool> seen_;
+  std::vector<SparseInterests> sparse_;
+  std::vector<UserId> sub_;
+  std::vector<UserId> rollback_;
+};
+
+}  // namespace
+
+bool EnumerateGroups(const SocialNetwork& social, const GpssnQuery& query,
+                     const std::vector<UserId>& candidates, int64_t max_groups,
+                     std::vector<std::vector<UserId>>* out) {
+  GPSSN_CHECK(out != nullptr);
+  out->clear();
+  if (query.tau == 1) {
+    out->push_back({query.issuer});
+    return true;
+  }
+  GroupEnumerator enumerator(social, query, candidates, max_groups, out);
+  return enumerator.Run();
+}
+
+void SampleGroups(const SocialNetwork& social, const GpssnQuery& query,
+                  const std::vector<UserId>& candidates, int samples,
+                  uint64_t seed, std::vector<std::vector<UserId>>* out) {
+  GPSSN_CHECK(out != nullptr);
+  out->clear();
+  if (query.tau == 1) {
+    out->push_back({query.issuer});
+    return;
+  }
+  std::vector<bool> in_candidates(social.num_users(), false);
+  for (UserId u : candidates) in_candidates[u] = true;
+  in_candidates[query.issuer] = true;
+
+  Rng rng(seed);
+  std::set<std::vector<UserId>> unique;
+  for (int s = 0; s < samples; ++s) {
+    std::vector<UserId> group = {query.issuer};
+    std::vector<UserId> frontier;
+    auto add_frontier = [&](UserId u) {
+      for (UserId v : social.Friends(u)) {
+        if (!in_candidates[v]) continue;
+        if (std::find(group.begin(), group.end(), v) != group.end()) continue;
+        frontier.push_back(v);
+      }
+    };
+    add_frontier(query.issuer);
+    while (static_cast<int>(group.size()) < query.tau && !frontier.empty()) {
+      const size_t pick = rng.NextBounded(frontier.size());
+      const UserId w = frontier[pick];
+      frontier.erase(frontier.begin() + pick);
+      if (std::find(group.begin(), group.end(), w) != group.end()) continue;
+      bool compatible = true;
+      const auto ww = social.Interests(w);
+      for (UserId member : group) {
+        if (UserSimilarity(query.metric, ww, social.Interests(member)) < query.gamma) {
+          compatible = false;
+          break;
+        }
+      }
+      if (!compatible) continue;
+      group.push_back(w);
+      add_frontier(w);
+    }
+    if (static_cast<int>(group.size()) == query.tau) {
+      std::sort(group.begin(), group.end());
+      unique.insert(std::move(group));
+    }
+  }
+  out->assign(unique.begin(), unique.end());
+}
+
+}  // namespace gpssn

@@ -1,0 +1,45 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Refinement-phase helpers of Algorithm 2 (lines 29-31): the Corollary 2
+// count-based user pruning and the enumeration of connected τ-subsets S of
+// the candidate users that contain u_q and satisfy the pairwise
+// interest-score predicate. Exhaustive enumeration uses the ESU
+// (enumerate-subgraphs) scheme, emitting every qualifying group exactly
+// once; the optional subset-sampling mode (the paper's future-work
+// extension) randomly grows connected groups instead.
+
+#ifndef GPSSN_CORE_REFINEMENT_H_
+#define GPSSN_CORE_REFINEMENT_H_
+
+#include <vector>
+
+#include "core/options.h"
+#include "core/stats.h"
+#include "socialnet/social_graph.h"
+
+namespace gpssn {
+
+/// Corollary 2: a user u_k failing the pairwise interest test against at
+/// least (|S'| − τ + 1) candidates cannot appear in any answer group and is
+/// removed. The issuer is never removed. Quadratic in |candidates|; callers
+/// should apply the cheaper per-user rules first.
+void ApplyCorollary2(const SocialNetwork& social, const GpssnQuery& query,
+                     std::vector<UserId>* candidates, QueryStats* stats);
+
+/// Enumerates all connected groups S (|S| = τ, u_q ∈ S ⊆ candidates ∪
+/// {u_q}) whose members pairwise satisfy Interest_Score >= γ. Each group is
+/// emitted exactly once (sorted ids). Returns false when `max_groups` was
+/// hit (output truncated).
+bool EnumerateGroups(const SocialNetwork& social, const GpssnQuery& query,
+                     const std::vector<UserId>& candidates, int64_t max_groups,
+                     std::vector<std::vector<UserId>>* out);
+
+/// Subset-sampling alternative: `samples` random connected growths from
+/// u_q; deduplicated. Never truncates (sampling is inherently partial).
+void SampleGroups(const SocialNetwork& social, const GpssnQuery& query,
+                  const std::vector<UserId>& candidates, int samples,
+                  uint64_t seed, std::vector<std::vector<UserId>>* out);
+
+}  // namespace gpssn
+
+#endif  // GPSSN_CORE_REFINEMENT_H_

@@ -1,0 +1,63 @@
+// Copyright 2026 The gpssn Authors.
+//
+// The two scores of Definition 5: the common-interest score between users
+// (Eq. 1) and the user-vs-POI-set matching score (Eq. 2), plus the
+// bit-vector upper bound of Eq. 15.
+
+#ifndef GPSSN_CORE_SCORES_H_
+#define GPSSN_CORE_SCORES_H_
+
+#include <span>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "core/options.h"
+#include "roadnet/types.h"
+#include "ssn/spatial_social_network.h"
+
+namespace gpssn {
+
+/// Eq. 1: Interest_Score(u_j, u_k) = Σ_f w_f(j) · w_f(k).
+double InterestScore(std::span<const double> a, std::span<const double> b);
+
+/// Weighted Jaccard similarity: Σ_f min(a_f, b_f) / Σ_f max(a_f, b_f)
+/// (1.0 when both vectors are all-zero). The paper's "future work" metric.
+double WeightedJaccard(std::span<const double> a, std::span<const double> b);
+
+/// Hamming similarity over topic supports: 1 − |supp(a) Δ supp(b)| / d.
+double HammingSimilarity(std::span<const double> a, std::span<const double> b);
+
+/// Dispatches on the query's interest metric.
+double UserSimilarity(InterestMetric metric, std::span<const double> a,
+                      std::span<const double> b);
+
+/// Upper bound of the weighted Jaccard between `q` and ANY vector inside
+/// the box [lb, ub]: Σ min(q, ub) / Σ max(q, lb). Used for node-level
+/// pruning under the Jaccard metric (the half-space region of Section 3.2
+/// only applies to the dot product).
+double UbJaccardBox(std::span<const double> q, std::span<const double> lb,
+                    std::span<const double> ub);
+
+/// Upper bound of the Hamming similarity between `q` and ANY vector in the
+/// box [lb, ub]: a topic can avoid a support mismatch unless the box forces
+/// one (q_f in the support but ub_f == 0, or q_f outside but lb_f > 0).
+double UbHammingBox(std::span<const double> q, std::span<const double> lb,
+                    std::span<const double> ub);
+
+/// Eq. 2: Match_Score(u_j, R) = Σ_f w_f(j) · χ(f ∈ keywords). `keywords`
+/// must be sorted unique keyword ids (the union over the POI set R).
+double MatchScore(std::span<const double> interests,
+                  const std::vector<KeywordId>& keywords);
+
+/// Eq. 15: upper bound of the matching score via a hashed keyword
+/// signature. Never smaller than MatchScore against the summarized set.
+double UbMatchScore(std::span<const double> interests,
+                    const KeywordBitVector& signature);
+
+/// Union of the keyword sets of the given POIs, sorted unique.
+std::vector<KeywordId> UnionKeywords(const SpatialSocialNetwork& ssn,
+                                     const std::vector<PoiId>& pois);
+
+}  // namespace gpssn
+
+#endif  // GPSSN_CORE_SCORES_H_

@@ -1,0 +1,131 @@
+#include "core/snapshot.h"
+#include <algorithm>
+
+#include <fstream>
+
+#include "ssn/serialize.h"
+
+namespace gpssn {
+
+namespace {
+constexpr char kSnapshotMagic[] = "gpssn-snapshot-v1";
+constexpr size_t kMaxKeywords = 1u << 20;
+}  // namespace
+
+Status SaveSnapshot(const GpssnDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << kSnapshotMagic << "\n";
+  GPSSN_RETURN_NOT_OK(WriteSsnBody(out, db.ssn()));
+
+  const PoiIndexOptions& poi_options = db.poi_index().options();
+  const SocialIndexOptions& social_options = db.social_index().options();
+  out << "build " << poi_options.r_min << " " << poi_options.r_max << " "
+      << poi_options.sub_samples_per_node << " " << poi_options.page_size
+      << " " << poi_options.rtree.max_entries << " "
+      << poi_options.rtree.reinsert_fraction << " "
+      << social_options.leaf_cell_size << " " << social_options.fanout << " "
+      << social_options.page_size << " " << poi_options.seed << "\n";
+
+  const auto& road_pivots = db.road_pivots().pivots();
+  const auto& social_pivots = db.social_pivots().pivots();
+  out << "pivots " << road_pivots.size() << " " << social_pivots.size();
+  for (VertexId v : road_pivots) out << " " << v;
+  for (UserId u : social_pivots) out << " " << u;
+  out << "\n";
+
+  out << "poiaug " << db.ssn().num_pois() << "\n";
+  for (PoiId id = 0; id < db.ssn().num_pois(); ++id) {
+    const PoiAug& aug = db.poi_index().poi_aug(id);
+    out << aug.sup_keywords.size();
+    for (KeywordId kw : aug.sup_keywords) out << " " << kw;
+    out << " " << aug.sub_keywords.size();
+    for (KeywordId kw : aug.sub_keywords) out << " " << kw;
+    out << "\n";
+  }
+  out << "end\n";
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<GpssnDatabase>> LoadSnapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string magic;
+  if (!(in >> magic) || magic != kSnapshotMagic) {
+    return Status::IoError("bad snapshot magic in " + path);
+  }
+  GPSSN_ASSIGN_OR_RETURN(SpatialSocialNetwork ssn, ReadSsnBody(in));
+
+  std::string section;
+  GpssnBuildOptions build;
+  if (!(in >> section >> build.poi_index.r_min >> build.poi_index.r_max >>
+        build.poi_index.sub_samples_per_node >> build.poi_index.page_size >>
+        build.poi_index.rtree.max_entries >>
+        build.poi_index.rtree.reinsert_fraction >>
+        build.social_index.leaf_cell_size >> build.social_index.fanout >>
+        build.social_index.page_size >> build.seed) ||
+      section != "build") {
+    return Status::IoError("malformed snapshot build section");
+  }
+
+  size_t num_road_pivots = 0, num_social_pivots = 0;
+  if (!(in >> section >> num_road_pivots >> num_social_pivots) ||
+      section != "pivots" || num_road_pivots == 0 || num_social_pivots == 0 ||
+      num_road_pivots > static_cast<size_t>(ssn.road().num_vertices()) ||
+      num_social_pivots > static_cast<size_t>(ssn.num_users())) {
+    return Status::IoError("malformed snapshot pivots section");
+  }
+  build.num_road_pivots = static_cast<int>(num_road_pivots);
+  build.num_social_pivots = static_cast<int>(num_social_pivots);
+  std::vector<VertexId> road_pivots(num_road_pivots);
+  for (auto& v : road_pivots) {
+    if (!(in >> v) || v < 0 || v >= ssn.road().num_vertices()) {
+      return Status::IoError("bad road pivot id");
+    }
+  }
+  std::vector<UserId> social_pivots(num_social_pivots);
+  for (auto& u : social_pivots) {
+    if (!(in >> u) || u < 0 || u >= ssn.num_users()) {
+      return Status::IoError("bad social pivot id");
+    }
+  }
+
+  int num_pois = 0;
+  if (!(in >> section >> num_pois) || section != "poiaug" ||
+      num_pois != ssn.num_pois()) {
+    return Status::IoError("malformed snapshot poiaug section");
+  }
+  std::vector<PoiAug> augs(num_pois);
+  auto read_keywords = [&](std::vector<KeywordId>* out_kws) -> Status {
+    size_t count = 0;
+    if (!(in >> count) || count > kMaxKeywords) {
+      return Status::IoError("bad keyword count in snapshot");
+    }
+    out_kws->resize(count);
+    for (auto& kw : *out_kws) {
+      if (!(in >> kw) || kw < 0 || kw >= ssn.num_topics()) {
+        return Status::IoError("bad keyword id in snapshot");
+      }
+    }
+    if (!std::is_sorted(out_kws->begin(), out_kws->end())) {
+      return Status::IoError("snapshot keyword sets must be sorted");
+    }
+    return Status::OK();
+  };
+  for (PoiId id = 0; id < num_pois; ++id) {
+    GPSSN_RETURN_NOT_OK(read_keywords(&augs[id].sup_keywords));
+    GPSSN_RETURN_NOT_OK(read_keywords(&augs[id].sub_keywords));
+  }
+  if (!(in >> section) || section != "end") {
+    return Status::IoError("missing snapshot trailer");
+  }
+
+  return std::make_unique<GpssnDatabase>(std::move(ssn), build,
+                                         std::move(road_pivots),
+                                         std::move(social_pivots),
+                                         std::move(augs));
+}
+
+}  // namespace gpssn

@@ -1,0 +1,31 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Database snapshots: persist a built GpssnDatabase so a process restart
+// skips the expensive parts of the offline build. The snapshot stores the
+// network (gpssn-v1 body), the selected pivot ids, the build options that
+// shape the indexes, and the per-POI sup_K / sub_K keyword sets (the n
+// bounded ball queries that dominate build time). On load, pivot tables,
+// tree shapes, and node aggregates are recomputed deterministically from
+// the stored seed.
+
+#ifndef GPSSN_CORE_SNAPSHOT_H_
+#define GPSSN_CORE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/database.h"
+
+namespace gpssn {
+
+/// Writes a snapshot of `db` to `path`.
+Status SaveSnapshot(const GpssnDatabase& db, const std::string& path);
+
+/// Restores a database from a snapshot written by SaveSnapshot. Queries
+/// against the restored database are identical to the original's.
+Result<std::unique_ptr<GpssnDatabase>> LoadSnapshot(const std::string& path);
+
+}  // namespace gpssn
+
+#endif  // GPSSN_CORE_SNAPSHOT_H_

@@ -1,0 +1,45 @@
+#include "core/stats.h"
+
+#include <cstdio>
+
+namespace gpssn {
+
+std::string QueryStats::ToString() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "cpu=%.6fs io=%llu (logical=%llu)\n"
+      "social: nodes visited=%llu pruned(interest=%llu, distance=%llu); "
+      "users seen=%llu pruned(interest=%llu, distance=%llu, cor2=%llu) "
+      "candidates=%llu index-pruned-users=%llu\n"
+      "road: nodes visited=%llu pruned(match=%llu, distance=%llu); "
+      "pois seen=%llu pruned(match=%llu, distance=%llu) candidates=%llu "
+      "index-pruned-pois=%llu\n"
+      "refine: groups=%llu pairs=%llu exact-dist=%llu truncated=%d",
+      cpu_seconds, static_cast<unsigned long long>(io.page_misses),
+      static_cast<unsigned long long>(io.logical_accesses),
+      static_cast<unsigned long long>(social_nodes_visited),
+      static_cast<unsigned long long>(social_nodes_pruned_interest),
+      static_cast<unsigned long long>(social_nodes_pruned_distance),
+      static_cast<unsigned long long>(users_seen),
+      static_cast<unsigned long long>(users_pruned_interest),
+      static_cast<unsigned long long>(users_pruned_distance),
+      static_cast<unsigned long long>(users_pruned_corollary2),
+      static_cast<unsigned long long>(users_candidates),
+      static_cast<unsigned long long>(users_pruned_at_index_level),
+      static_cast<unsigned long long>(road_nodes_visited),
+      static_cast<unsigned long long>(road_nodes_pruned_match),
+      static_cast<unsigned long long>(road_nodes_pruned_distance),
+      static_cast<unsigned long long>(pois_seen),
+      static_cast<unsigned long long>(pois_pruned_match),
+      static_cast<unsigned long long>(pois_pruned_distance),
+      static_cast<unsigned long long>(pois_candidates),
+      static_cast<unsigned long long>(pois_pruned_at_index_level),
+      static_cast<unsigned long long>(groups_enumerated),
+      static_cast<unsigned long long>(pairs_examined),
+      static_cast<unsigned long long>(exact_distance_evals),
+      truncated ? 1 : 0);
+  return buf;
+}
+
+}  // namespace gpssn

@@ -1,0 +1,58 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Per-query measurements: CPU time, the paper's I/O metric (page accesses),
+// and per-rule pruning counters backing the pruning-power experiments of
+// Figure 7.
+
+#ifndef GPSSN_CORE_STATS_H_
+#define GPSSN_CORE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/pagestore.h"
+
+namespace gpssn {
+
+struct QueryStats {
+  double cpu_seconds = 0.0;
+  IoStats io;
+
+  // --- Social-network side (Fig. 7(a)/(b)).
+  uint64_t social_nodes_visited = 0;
+  uint64_t social_nodes_pruned_interest = 0;  // Lemma 8.
+  uint64_t social_nodes_pruned_distance = 0;  // Lemma 9.
+  uint64_t users_seen = 0;                    // Users reaching object level.
+  uint64_t users_pruned_interest = 0;         // Lemma 3 / Corollary 1.
+  uint64_t users_pruned_distance = 0;         // Lemma 4.
+  uint64_t users_pruned_corollary2 = 0;       // Corollary 2 (refinement).
+  uint64_t users_candidates = 0;              // Survivors.
+  /// Users covered by index nodes pruned at index level (for index-level
+  /// pruning power: fraction of all users never reaching object level).
+  uint64_t users_pruned_at_index_level = 0;
+
+  // --- Road-network side (Fig. 7(a)/(c)).
+  uint64_t road_nodes_visited = 0;
+  uint64_t road_nodes_pruned_match = 0;      // Lemma 6.
+  uint64_t road_nodes_pruned_distance = 0;   // Lemma 7 / δ cut.
+  uint64_t pois_seen = 0;
+  uint64_t pois_pruned_match = 0;            // Lemma 1.
+  uint64_t pois_pruned_distance = 0;         // Lemma 5.
+  uint64_t pois_candidates = 0;
+  uint64_t pois_pruned_at_index_level = 0;
+
+  // --- Refinement (Fig. 7(d), Figs. 8-11).
+  uint64_t groups_enumerated = 0;
+  uint64_t pairs_examined = 0;     // (S, R) pairs actually evaluated.
+  uint64_t exact_distance_evals = 0;
+  bool truncated = false;          // A refinement cap was hit.
+
+  /// Page misses (the paper's "number of page accesses through a buffer").
+  uint64_t PageAccesses() const { return io.page_misses; }
+
+  std::string ToString() const;
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_CORE_STATS_H_

@@ -1,0 +1,77 @@
+#include "geom/rect.h"
+
+#include <cmath>
+
+namespace gpssn {
+
+void Rect::ExtendPoint(const Point& p) {
+  min_x = std::min(min_x, p.x);
+  min_y = std::min(min_y, p.y);
+  max_x = std::max(max_x, p.x);
+  max_y = std::max(max_y, p.y);
+}
+
+void Rect::ExtendRect(const Rect& r) {
+  if (r.empty()) return;
+  min_x = std::min(min_x, r.min_x);
+  min_y = std::min(min_y, r.min_y);
+  max_x = std::max(max_x, r.max_x);
+  max_y = std::max(max_y, r.max_y);
+}
+
+double Rect::OverlapArea(const Rect& r) const {
+  const double w = std::min(max_x, r.max_x) - std::max(min_x, r.min_x);
+  if (w <= 0) return 0.0;
+  const double h = std::min(max_y, r.max_y) - std::max(min_y, r.min_y);
+  if (h <= 0) return 0.0;
+  return w * h;
+}
+
+double Rect::Enlargement(const Rect& r) const {
+  Rect u = *this;
+  u.ExtendRect(r);
+  return u.Area() - Area();
+}
+
+namespace {
+double AxisGap(double v, double lo, double hi) {
+  if (v < lo) return lo - v;
+  if (v > hi) return v - hi;
+  return 0.0;
+}
+double AxisFar(double v, double lo, double hi) {
+  return std::max(std::abs(v - lo), std::abs(v - hi));
+}
+}  // namespace
+
+double MinDist(const Point& p, const Rect& r) {
+  const double dx = AxisGap(p.x, r.min_x, r.max_x);
+  const double dy = AxisGap(p.y, r.min_y, r.max_y);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MaxDist(const Point& p, const Rect& r) {
+  if (r.empty()) return 0.0;
+  const double dx = AxisFar(p.x, r.min_x, r.max_x);
+  const double dy = AxisFar(p.y, r.min_y, r.max_y);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MinDist(const Rect& a, const Rect& b) {
+  const double dx =
+      std::max({0.0, b.min_x - a.max_x, a.min_x - b.max_x});
+  const double dy =
+      std::max({0.0, b.min_y - a.max_y, a.min_y - b.max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MaxDist(const Rect& a, const Rect& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const double dx =
+      std::max(std::abs(a.max_x - b.min_x), std::abs(b.max_x - a.min_x));
+  const double dy =
+      std::max(std::abs(a.max_y - b.min_y), std::abs(b.max_y - a.min_y));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace gpssn

@@ -1,0 +1,80 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Axis-aligned rectangles (minimum bounding rectangles) for the R*-tree and
+// the index-level distance pruning of Lemma 7.
+
+#ifndef GPSSN_GEOM_RECT_H_
+#define GPSSN_GEOM_RECT_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.h"
+
+namespace gpssn {
+
+/// Axis-aligned MBR. An empty rectangle (default constructed) has inverted
+/// bounds and absorbs any point/rect it is extended with.
+struct Rect {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  static Rect FromPoint(const Point& p) { return Rect{p.x, p.y, p.x, p.y}; }
+
+  bool empty() const { return min_x > max_x || min_y > max_y; }
+
+  void ExtendPoint(const Point& p);
+  void ExtendRect(const Rect& r);
+
+  bool ContainsPoint(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  bool ContainsRect(const Rect& r) const {
+    return r.min_x >= min_x && r.max_x <= max_x && r.min_y >= min_y &&
+           r.max_y <= max_y;
+  }
+  bool Intersects(const Rect& r) const {
+    return !(r.min_x > max_x || r.max_x < min_x || r.min_y > max_y ||
+             r.max_y < min_y);
+  }
+
+  double Area() const {
+    return empty() ? 0.0 : (max_x - min_x) * (max_y - min_y);
+  }
+  double Margin() const {
+    return empty() ? 0.0 : 2.0 * ((max_x - min_x) + (max_y - min_y));
+  }
+  Point Center() const {
+    return Point{(min_x + max_x) * 0.5, (min_y + max_y) * 0.5};
+  }
+
+  /// Area of intersection with `r` (0 when disjoint).
+  double OverlapArea(const Rect& r) const;
+
+  /// Area increase caused by extending this rect to include `r`.
+  double Enlargement(const Rect& r) const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+/// Smallest Euclidean distance from point `p` to rect `r` (0 when inside).
+double MinDist(const Point& p, const Rect& r);
+
+/// Largest Euclidean distance from point `p` to any point of `r`.
+double MaxDist(const Point& p, const Rect& r);
+
+/// Smallest Euclidean distance between any two points of `a` and `b`
+/// (0 when intersecting). This is the mindist(e_Ri, e_Rj) of Lemma 7.
+double MinDist(const Rect& a, const Rect& b);
+
+/// Largest Euclidean distance between any two points of `a` and `b`.
+double MaxDist(const Rect& a, const Rect& b);
+
+}  // namespace gpssn
+
+#endif  // GPSSN_GEOM_RECT_H_

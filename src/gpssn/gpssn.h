@@ -1,0 +1,29 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Umbrella header: include this to get the whole public GP-SSN API.
+//
+//   #include "gpssn/gpssn.h"
+//
+//   gpssn::SyntheticSsnOptions data;
+//   gpssn::GpssnDatabase db(gpssn::MakeSynthetic(data));
+//   gpssn::GpssnQuery query{.issuer = 0, .tau = 5};
+//   auto answer = db.Query(query);
+
+#ifndef GPSSN_GPSSN_GPSSN_H_
+#define GPSSN_GPSSN_GPSSN_H_
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/baseline.h"
+#include "core/database.h"
+#include "core/options.h"
+#include "core/query.h"
+#include "core/scores.h"
+#include "core/snapshot.h"
+#include "core/stats.h"
+#include "core/tuning.h"
+#include "ssn/dataset.h"
+#include "ssn/serialize.h"
+#include "ssn/spatial_social_network.h"
+
+#endif  // GPSSN_GPSSN_GPSSN_H_

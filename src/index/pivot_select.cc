@@ -1,0 +1,241 @@
+#include "index/pivot_select.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "roadnet/shortest_path.h"
+#include "socialnet/bfs.h"
+
+namespace gpssn {
+
+namespace {
+
+// Generic Algorithm 1 over a precomputed candidate/sample geometry:
+//   cand_dist[c][e]: distance from candidate c to sample endpoint e
+//   pair_dist[s]:    true distance of sample pair s = (2s, 2s+1)
+// Distances may be infinity (unreachable); such terms are skipped.
+struct SelectionProblem {
+  std::vector<std::vector<double>> cand_dist;
+  std::vector<double> pair_dist;
+};
+
+double CostOf(const SelectionProblem& problem, const std::vector<int>& pivots) {
+  double total = 0.0;
+  const size_t pairs = problem.pair_dist.size();
+  for (size_t s = 0; s < pairs; ++s) {
+    const double true_dist = problem.pair_dist[s];
+    if (!std::isfinite(true_dist) || true_dist <= 0.0) continue;
+    double lb = 0.0;
+    for (int c : pivots) {
+      const double da = problem.cand_dist[c][2 * s];
+      const double db = problem.cand_dist[c][2 * s + 1];
+      if (!std::isfinite(da) || !std::isfinite(db)) continue;
+      lb = std::max(lb, std::abs(da - db));
+    }
+    total += std::min(lb / true_dist, 1.0);
+  }
+  return total;
+}
+
+// Algorithm 1: random restarts, each followed by swap local search.
+std::vector<int> RunLocalSearch(const SelectionProblem& problem, int k,
+                                const PivotSelectOptions& options, Rng* rng) {
+  const int pool = static_cast<int>(problem.cand_dist.size());
+  GPSSN_CHECK(k <= pool);
+  double global_cost = -std::numeric_limits<double>::infinity();
+  std::vector<int> global_best;
+  for (int restart = 0; restart < options.global_iter; ++restart) {
+    // Random initial pivot set P (line 3 of Algorithm 1).
+    std::vector<int> in_set;
+    std::vector<bool> is_pivot(pool, false);
+    for (size_t idx : rng->SampleWithoutReplacement(pool, k)) {
+      in_set.push_back(static_cast<int>(idx));
+      is_pivot[idx] = true;
+    }
+    double local_cost = CostOf(problem, in_set);
+    // Swap a pivot with a non-pivot; accept improvements (lines 6-13).
+    for (int iter = 0; iter < options.swap_iter; ++iter) {
+      if (k == pool) break;
+      const int pos = static_cast<int>(rng->NextBounded(k));
+      int replacement;
+      do {
+        replacement = static_cast<int>(rng->NextBounded(pool));
+      } while (is_pivot[replacement]);
+      const int old = in_set[pos];
+      in_set[pos] = replacement;
+      const double new_cost = CostOf(problem, in_set);
+      if (new_cost > local_cost) {
+        local_cost = new_cost;
+        is_pivot[old] = false;
+        is_pivot[replacement] = true;
+      } else {
+        in_set[pos] = old;
+      }
+    }
+    if (local_cost > global_cost) {  // Lines 14-16.
+      global_cost = local_cost;
+      global_best = in_set;
+    }
+  }
+  return global_best;
+}
+
+}  // namespace
+
+std::vector<VertexId> SelectRoadPivots(const RoadNetwork& graph, int h,
+                                       const PivotSelectOptions& options) {
+  GPSSN_CHECK(h >= 1 && h <= graph.num_vertices());
+  Rng rng(options.seed);
+  const int pool =
+      std::min(std::max(options.candidate_pool, h), graph.num_vertices());
+  std::vector<VertexId> candidates;
+  for (size_t idx : rng.SampleWithoutReplacement(graph.num_vertices(), pool)) {
+    candidates.push_back(static_cast<VertexId>(idx));
+  }
+
+  const int pairs = options.sample_pairs;
+  std::vector<VertexId> endpoints(2 * pairs);
+  for (auto& e : endpoints) {
+    e = static_cast<VertexId>(rng.NextBounded(graph.num_vertices()));
+  }
+
+  SelectionProblem problem;
+  DijkstraEngine engine(&graph);
+  problem.cand_dist.resize(pool);
+  for (int c = 0; c < pool; ++c) {
+    engine.RunFromVertex(candidates[c]);
+    problem.cand_dist[c].resize(2 * pairs);
+    for (int e = 0; e < 2 * pairs; ++e) {
+      problem.cand_dist[c][e] = engine.Distance(endpoints[e]);
+    }
+  }
+  problem.pair_dist.resize(pairs);
+  for (int s = 0; s < pairs; ++s) {
+    engine.RunFromVertex(endpoints[2 * s]);
+    problem.pair_dist[s] = engine.Distance(endpoints[2 * s + 1]);
+  }
+
+  std::vector<VertexId> out;
+  for (int c : RunLocalSearch(problem, h, options, &rng)) {
+    out.push_back(candidates[c]);
+  }
+  return out;
+}
+
+std::vector<UserId> SelectSocialPivots(const SocialNetwork& graph, int l,
+                                       const PivotSelectOptions& options) {
+  GPSSN_CHECK(l >= 1 && l <= graph.num_users());
+  Rng rng(options.seed ^ 0x9e37ULL);
+  const int pool =
+      std::min(std::max(options.candidate_pool, l), graph.num_users());
+  std::vector<UserId> candidates;
+  for (size_t idx : rng.SampleWithoutReplacement(graph.num_users(), pool)) {
+    candidates.push_back(static_cast<UserId>(idx));
+  }
+
+  const int pairs = options.sample_pairs;
+  std::vector<UserId> endpoints(2 * pairs);
+  for (auto& e : endpoints) {
+    e = static_cast<UserId>(rng.NextBounded(graph.num_users()));
+  }
+
+  SelectionProblem problem;
+  BfsEngine engine(&graph);
+  auto hops_or_inf = [](int hops) {
+    return hops == kUnreachableHops ? std::numeric_limits<double>::infinity()
+                                    : static_cast<double>(hops);
+  };
+  problem.cand_dist.resize(pool);
+  for (int c = 0; c < pool; ++c) {
+    engine.Run(candidates[c]);
+    problem.cand_dist[c].resize(2 * pairs);
+    for (int e = 0; e < 2 * pairs; ++e) {
+      problem.cand_dist[c][e] = hops_or_inf(engine.Hops(endpoints[e]));
+    }
+  }
+  problem.pair_dist.resize(pairs);
+  for (int s = 0; s < pairs; ++s) {
+    engine.Run(endpoints[2 * s]);
+    problem.pair_dist[s] = hops_or_inf(engine.Hops(endpoints[2 * s + 1]));
+  }
+
+  std::vector<UserId> out;
+  for (int c : RunLocalSearch(problem, l, options, &rng)) {
+    out.push_back(candidates[c]);
+  }
+  return out;
+}
+
+double MeasureRoadPivotTightness(const RoadNetwork& graph,
+                                 const std::vector<VertexId>& pivots,
+                                 int sample_pairs, uint64_t seed) {
+  Rng rng(seed);
+  DijkstraEngine engine(&graph);
+  // Pivot distance rows.
+  std::vector<std::vector<double>> rows(pivots.size());
+  for (size_t k = 0; k < pivots.size(); ++k) {
+    engine.RunFromVertex(pivots[k]);
+    rows[k].resize(graph.num_vertices());
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      rows[k][v] = engine.Distance(v);
+    }
+  }
+  double total = 0.0;
+  int counted = 0;
+  for (int s = 0; s < sample_pairs; ++s) {
+    const VertexId a = static_cast<VertexId>(rng.NextBounded(graph.num_vertices()));
+    const VertexId b = static_cast<VertexId>(rng.NextBounded(graph.num_vertices()));
+    if (a == b) continue;
+    engine.RunFromVertex(a);
+    const double true_dist = engine.Distance(b);
+    if (!std::isfinite(true_dist) || true_dist <= 0.0) continue;
+    double lb = 0.0;
+    for (size_t k = 0; k < pivots.size(); ++k) {
+      if (std::isfinite(rows[k][a]) && std::isfinite(rows[k][b])) {
+        lb = std::max(lb, std::abs(rows[k][a] - rows[k][b]));
+      }
+    }
+    total += std::min(lb / true_dist, 1.0);
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+double MeasureSocialPivotTightness(const SocialNetwork& graph,
+                                   const std::vector<UserId>& pivots,
+                                   int sample_pairs, uint64_t seed) {
+  Rng rng(seed);
+  BfsEngine engine(&graph);
+  std::vector<std::vector<int>> rows(pivots.size());
+  for (size_t k = 0; k < pivots.size(); ++k) {
+    engine.Run(pivots[k]);
+    rows[k].resize(graph.num_users());
+    for (UserId u = 0; u < graph.num_users(); ++u) {
+      rows[k][u] = engine.Hops(u);
+    }
+  }
+  double total = 0.0;
+  int counted = 0;
+  for (int s = 0; s < sample_pairs; ++s) {
+    const UserId a = static_cast<UserId>(rng.NextBounded(graph.num_users()));
+    const UserId b = static_cast<UserId>(rng.NextBounded(graph.num_users()));
+    if (a == b) continue;
+    engine.Run(a);
+    const int true_dist = engine.Hops(b);
+    if (true_dist == kUnreachableHops || true_dist == 0) continue;
+    int lb = 0;
+    for (size_t k = 0; k < pivots.size(); ++k) {
+      if (rows[k][a] != kUnreachableHops && rows[k][b] != kUnreachableHops) {
+        lb = std::max(lb, std::abs(rows[k][a] - rows[k][b]));
+      }
+    }
+    total += std::min(1.0, static_cast<double>(lb) / true_dist);
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+}  // namespace gpssn

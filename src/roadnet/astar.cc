@@ -1,0 +1,180 @@
+#include "roadnet/astar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace gpssn {
+
+AStarEngine::AStarEngine(const RoadNetwork* graph) : graph_(graph) {
+  GPSSN_CHECK(graph != nullptr);
+  g_.resize(graph->num_vertices(), kInfDistance);
+  parent_.resize(graph->num_vertices(), kInvalidVertex);
+  stamp_.resize(graph->num_vertices(), 0);
+  settled_stamp_.resize(graph->num_vertices(), 0);
+  // The Euclidean heuristic is admissible only when every edge weight is at
+  // least the segment's Euclidean length. Graphs with, e.g., travel-time
+  // weights fall back to a zero heuristic (plain uniform-cost search) and
+  // stay exact.
+  heuristic_enabled_ = true;
+  for (EdgeId e = 0; e < graph->num_edges(); ++e) {
+    const double len = EuclideanDistance(graph->vertex_point(graph->edge_u(e)),
+                                         graph->vertex_point(graph->edge_v(e)));
+    if (graph->edge_weight(e) < len - 1e-9) {
+      heuristic_enabled_ = false;
+      break;
+    }
+  }
+}
+
+void AStarEngine::Reset() {
+  ++generation_;
+  if (generation_ == 0) {
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    std::fill(settled_stamp_.begin(), settled_stamp_.end(), 0);
+    generation_ = 1;
+  }
+  heap_.clear();
+  last_settled_ = 0;
+}
+
+double AStarEngine::VertexToVertex(VertexId source, VertexId target) {
+  GPSSN_CHECK(source >= 0 && source < graph_->num_vertices());
+  GPSSN_CHECK(target >= 0 && target < graph_->num_vertices());
+  Reset();
+  const Point goal = graph_->vertex_point(target);
+  auto heuristic = [&](VertexId v) {
+    return heuristic_enabled_
+               ? EuclideanDistance(graph_->vertex_point(v), goal)
+               : 0.0;
+  };
+  g_[source] = 0.0;
+  parent_[source] = kInvalidVertex;
+  stamp_[source] = generation_;
+  heap_.push_back({heuristic(source), source});
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater());
+    const HeapEntry top = heap_.back();
+    heap_.pop_back();
+    const VertexId v = top.v;
+    if (settled_stamp_[v] == generation_) continue;
+    settled_stamp_[v] = generation_;
+    ++last_settled_;
+    if (v == target) return g_[v];
+    for (const RoadArc& arc : graph_->Neighbors(v)) {
+      const double ng = g_[v] + arc.weight;
+      if (stamp_[arc.to] != generation_ || ng < g_[arc.to]) {
+        g_[arc.to] = ng;
+        parent_[arc.to] = v;
+        stamp_[arc.to] = generation_;
+        heap_.push_back({ng + heuristic(arc.to), arc.to});
+        std::push_heap(heap_.begin(), heap_.end(), HeapGreater());
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+double AStarEngine::PositionToPosition(const EdgePosition& a,
+                                       const EdgePosition& b) {
+  const double direct = SameEdgeDistance(*graph_, a, b);
+  // Via-network route: try all four endpoint combinations. Each A* run is
+  // goal-directed, so four runs still beat one full Dijkstra on real maps.
+  double best = direct;
+  for (VertexId sa : {graph_->edge_u(a.edge), graph_->edge_v(a.edge)}) {
+    for (VertexId tb : {graph_->edge_u(b.edge), graph_->edge_v(b.edge)}) {
+      const double mid = VertexToVertex(sa, tb);
+      if (mid < kInfDistance) {
+        best = std::min(best,
+                        graph_->OffsetTo(a, sa) + mid + graph_->OffsetTo(b, tb));
+      }
+    }
+  }
+  return best;
+}
+
+RouteResult AStarEngine::Route(VertexId source, VertexId target) {
+  RouteResult result;
+  result.distance = VertexToVertex(source, target);
+  if (!result.reachable()) return result;
+  for (VertexId v = target; v != kInvalidVertex; v = parent_[v]) {
+    result.path.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  return result;
+}
+
+BidirectionalDijkstra::BidirectionalDijkstra(const RoadNetwork* graph)
+    : graph_(graph) {
+  GPSSN_CHECK(graph != nullptr);
+  for (int side = 0; side < 2; ++side) {
+    dist_[side].resize(graph->num_vertices(), kInfDistance);
+    stamp_[side].resize(graph->num_vertices(), 0);
+    settled_stamp_[side].resize(graph->num_vertices(), 0);
+  }
+}
+
+void BidirectionalDijkstra::Reset() {
+  ++generation_;
+  if (generation_ == 0) {
+    for (int side = 0; side < 2; ++side) {
+      std::fill(stamp_[side].begin(), stamp_[side].end(), 0);
+      std::fill(settled_stamp_[side].begin(), settled_stamp_[side].end(), 0);
+    }
+    generation_ = 1;
+  }
+  heap_[0].clear();
+  heap_[1].clear();
+  last_settled_ = 0;
+}
+
+double BidirectionalDijkstra::VertexToVertex(VertexId source, VertexId target) {
+  GPSSN_CHECK(source >= 0 && source < graph_->num_vertices());
+  GPSSN_CHECK(target >= 0 && target < graph_->num_vertices());
+  if (source == target) return 0.0;
+  Reset();
+  auto greater = [](const std::pair<double, VertexId>& a,
+                    const std::pair<double, VertexId>& b) {
+    return a.first > b.first;
+  };
+  auto relax = [&](int side, VertexId v, double d) {
+    if (stamp_[side][v] == generation_ && dist_[side][v] <= d) return;
+    dist_[side][v] = d;
+    stamp_[side][v] = generation_;
+    heap_[side].emplace_back(d, v);
+    std::push_heap(heap_[side].begin(), heap_[side].end(), greater);
+  };
+  relax(0, source, 0.0);
+  relax(1, target, 0.0);
+
+  double best = kInfDistance;
+  // Standard termination: stop when the sum of both frontiers' minimum keys
+  // reaches the best meeting distance found so far.
+  while (!heap_[0].empty() && !heap_[1].empty()) {
+    if (heap_[0].front().first + heap_[1].front().first >= best) break;
+    // Expand the side with the smaller frontier key.
+    const int side = heap_[0].front().first <= heap_[1].front().first ? 0 : 1;
+    std::pop_heap(heap_[side].begin(), heap_[side].end(), greater);
+    const auto [d, v] = heap_[side].back();
+    heap_[side].pop_back();
+    if (settled_stamp_[side][v] == generation_) continue;
+    settled_stamp_[side][v] = generation_;
+    ++last_settled_;
+    const int other = 1 - side;
+    if (stamp_[other][v] == generation_) {
+      best = std::min(best, d + dist_[other][v]);
+    }
+    for (const RoadArc& arc : graph_->Neighbors(v)) {
+      relax(side, arc.to, d + arc.weight);
+      // Meeting through a relaxed (not necessarily settled) vertex.
+      if (stamp_[other][arc.to] == generation_) {
+        best = std::min(best, d + arc.weight + dist_[other][arc.to]);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace gpssn

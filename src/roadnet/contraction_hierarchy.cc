@@ -1,0 +1,287 @@
+#include "roadnet/contraction_hierarchy.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace gpssn {
+
+namespace {
+
+// Small bounded Dijkstra over the remaining (uncontracted) graph used for
+// witness searches. Owns stamped arenas sized once per build.
+class WitnessSearch {
+ public:
+  explicit WitnessSearch(int n)
+      : dist_(n, kInfDistance), hops_(n, 0), stamp_(n, 0) {}
+
+  /// Returns the distance from `source` to `target` in the remaining graph
+  /// with `skip` removed, or kInfDistance once `bound`, the hop limit, or
+  /// the settle budget is exceeded. Never underestimates reachability
+  /// failures: a kInfDistance result only means "no witness found within
+  /// the budget", which is safe (a shortcut is added).
+  double Run(const std::vector<std::unordered_map<VertexId, double>>& adj,
+             const std::vector<bool>& contracted, VertexId source,
+             VertexId target, VertexId skip, double bound, int hop_limit,
+             int settle_limit) {
+    ++generation_;
+    if (generation_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      generation_ = 1;
+    }
+    heap_ = {};
+    dist_[source] = 0.0;
+    hops_[source] = 0;
+    stamp_[source] = generation_;
+    heap_.push({0.0, source});
+    int settled = 0;
+    while (!heap_.empty()) {
+      const auto [d, v] = heap_.top();
+      heap_.pop();
+      if (stamp_[v] != generation_ || d > dist_[v]) continue;
+      if (d > bound) return kInfDistance;
+      if (v == target) return d;
+      if (++settled > settle_limit) return kInfDistance;
+      if (hops_[v] >= hop_limit) continue;
+      for (const auto& [to, w] : adj[v]) {
+        if (to == skip || contracted[to]) continue;
+        const double nd = d + w;
+        if (nd > bound) continue;
+        if (stamp_[to] != generation_ || nd < dist_[to]) {
+          dist_[to] = nd;
+          hops_[to] = hops_[v] + 1;
+          stamp_[to] = generation_;
+          heap_.push({nd, to});
+        }
+      }
+    }
+    return kInfDistance;
+  }
+
+ private:
+  std::vector<double> dist_;
+  std::vector<int> hops_;
+  std::vector<uint32_t> stamp_;
+  uint32_t generation_ = 0;
+  std::priority_queue<std::pair<double, VertexId>,
+                      std::vector<std::pair<double, VertexId>>,
+                      std::greater<>>
+      heap_;
+};
+
+}  // namespace
+
+ContractionHierarchy::ContractionHierarchy(ChOptions options)
+    : options_(options) {}
+
+void ContractionHierarchy::Build(const RoadNetwork* graph) {
+  GPSSN_CHECK(graph != nullptr);
+  graph_ = graph;
+  const int n = graph->num_vertices();
+  rank_.assign(n, -1);
+  up_.assign(n, {});
+  num_shortcuts_ = 0;
+
+  // Dynamic remaining graph: min-weight multi-edge collapse.
+  std::vector<std::unordered_map<VertexId, double>> adj(n);
+  for (EdgeId e = 0; e < graph->num_edges(); ++e) {
+    const VertexId u = graph->edge_u(e), v = graph->edge_v(e);
+    const double w = graph->edge_weight(e);
+    auto relax = [](std::unordered_map<VertexId, double>* m, VertexId key,
+                    double weight) {
+      auto it = m->find(key);
+      if (it == m->end() || weight < it->second) (*m)[key] = weight;
+    };
+    relax(&adj[u], v, w);
+    relax(&adj[v], u, w);
+  }
+  // All surviving edges (original collapsed + shortcuts), for the final
+  // upward-graph construction.
+  std::vector<std::tuple<VertexId, VertexId, double>> all_edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (const auto& [v, w] : adj[u]) {
+      if (u < v) all_edges.emplace_back(u, v, w);
+    }
+  }
+
+  std::vector<bool> contracted(n, false);
+  std::vector<int> deleted_neighbors(n, 0);
+  WitnessSearch witness(n);
+
+  // Simulates contracting v: counts (and optionally emits) the shortcuts
+  // it would need.
+  auto shortcuts_for = [&](VertexId v, bool emit) {
+    int count = 0;
+    std::vector<std::pair<VertexId, double>> neighbors;
+    for (const auto& [u, w] : adj[v]) {
+      if (!contracted[u]) neighbors.emplace_back(u, w);
+    }
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      for (size_t j = i + 1; j < neighbors.size(); ++j) {
+        const auto [a, wa] = neighbors[i];
+        const auto [b, wb] = neighbors[j];
+        const double through = wa + wb;
+        const double alt =
+            witness.Run(adj, contracted, a, b, v, through,
+                        options_.witness_hop_limit,
+                        options_.witness_settle_limit);
+        if (alt <= through) continue;  // Witness path found: no shortcut.
+        ++count;
+        if (emit) {
+          auto relax = [](std::unordered_map<VertexId, double>* m,
+                          VertexId key, double weight) {
+            auto it = m->find(key);
+            if (it == m->end() || weight < it->second) {
+              (*m)[key] = weight;
+              return true;
+            }
+            return false;
+          };
+          const bool fresh = relax(&adj[a], b, through);
+          relax(&adj[b], a, through);
+          if (fresh) {
+            all_edges.emplace_back(a, b, through);
+            ++num_shortcuts_;
+          }
+        }
+      }
+    }
+    return count;
+  };
+
+  auto priority = [&](VertexId v) {
+    int degree = 0;
+    for (const auto& [u, w] : adj[v]) {
+      (void)w;
+      if (!contracted[u]) ++degree;
+    }
+    return shortcuts_for(v, /*emit=*/false) - degree + deleted_neighbors[v];
+  };
+
+  // Lazy-update priority queue over (priority, vertex).
+  std::priority_queue<std::pair<int, VertexId>,
+                      std::vector<std::pair<int, VertexId>>, std::greater<>>
+      queue;
+  for (VertexId v = 0; v < n; ++v) queue.push({priority(v), v});
+
+  int next_rank = 0;
+  while (!queue.empty()) {
+    const auto [p, v] = queue.top();
+    queue.pop();
+    if (contracted[v]) continue;
+    // Lazy update: re-evaluate; requeue when stale.
+    const int fresh = priority(v);
+    if (!queue.empty() && fresh > queue.top().first) {
+      queue.push({fresh, v});
+      continue;
+    }
+    shortcuts_for(v, /*emit=*/true);
+    contracted[v] = true;
+    rank_[v] = next_rank++;
+    for (const auto& [u, w] : adj[v]) {
+      (void)w;
+      if (!contracted[u]) ++deleted_neighbors[u];
+    }
+  }
+
+  // Upward graph: every surviving edge points from the lower-ranked to the
+  // higher-ranked endpoint; keep the minimum weight per (from, to).
+  std::vector<std::unordered_map<VertexId, double>> up_min(n);
+  for (const auto& [u, v, w] : all_edges) {
+    const VertexId lo = rank_[u] < rank_[v] ? u : v;
+    const VertexId hi = lo == u ? v : u;
+    auto it = up_min[lo].find(hi);
+    if (it == up_min[lo].end() || w < it->second) up_min[lo][hi] = w;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    up_[v].reserve(up_min[v].size());
+    for (const auto& [to, w] : up_min[v]) up_[v].push_back(UpArc{to, w});
+  }
+}
+
+ChQuery::ChQuery(const ContractionHierarchy* ch) : ch_(ch) {
+  GPSSN_CHECK(ch != nullptr && ch->built());
+  const int n = ch->graph().num_vertices();
+  for (int side = 0; side < 2; ++side) {
+    dist_[side].resize(n, kInfDistance);
+    stamp_[side].resize(n, 0);
+  }
+}
+
+double ChQuery::VertexToVertex(VertexId s, VertexId t) {
+  const int n = ch_->graph().num_vertices();
+  GPSSN_CHECK(s >= 0 && s < n && t >= 0 && t < n);
+  if (s == t) return 0.0;
+  ++generation_;
+  if (generation_ == 0) {
+    for (int side = 0; side < 2; ++side) {
+      std::fill(stamp_[side].begin(), stamp_[side].end(), 0);
+    }
+    generation_ = 1;
+  }
+  heap_[0].clear();
+  heap_[1].clear();
+  last_settled_ = 0;
+  auto greater = [](const std::pair<double, VertexId>& a,
+                    const std::pair<double, VertexId>& b) {
+    return a.first > b.first;
+  };
+  auto relax = [&](int side, VertexId v, double d) {
+    if (stamp_[side][v] == generation_ && dist_[side][v] <= d) return;
+    dist_[side][v] = d;
+    stamp_[side][v] = generation_;
+    heap_[side].emplace_back(d, v);
+    std::push_heap(heap_[side].begin(), heap_[side].end(), greater);
+  };
+  relax(0, s, 0.0);
+  relax(1, t, 0.0);
+
+  double best = kInfDistance;
+  // Both searches run to exhaustion of keys below `best` (upward graphs are
+  // small, so this stays cheap).
+  for (int side = 0; side < 2; ++side) {
+    while (!heap_[side].empty()) {
+      std::pop_heap(heap_[side].begin(), heap_[side].end(), greater);
+      const auto [d, v] = heap_[side].back();
+      heap_[side].pop_back();
+      if (stamp_[side][v] != generation_ || d > dist_[side][v]) continue;
+      if (d >= best) continue;
+      ++last_settled_;
+      const int other = 1 - side;
+      if (stamp_[other][v] == generation_) {
+        best = std::min(best, d + dist_[other][v]);
+      }
+      for (const auto& arc : ch_->up(v)) {
+        relax(side, arc.to, d + arc.weight);
+      }
+    }
+  }
+  // The meeting minimum must be re-checked after both sides finished (a
+  // backward label may have been written after the forward side visited).
+  // Scan the smaller frontier's touched vertices via the heaps is no longer
+  // possible (drained), so recompute over the meeting candidates lazily:
+  // labels survive in dist_/stamp_, and every settled forward vertex was
+  // compared when popped; vertices settled backward AFTER the forward pop
+  // are covered because the backward pop also compares. Hence `best` is
+  // already exact here.
+  return best;
+}
+
+double ChQuery::PositionToPosition(const EdgePosition& a,
+                                   const EdgePosition& b) {
+  const RoadNetwork& g = ch_->graph();
+  double best = SameEdgeDistance(g, a, b);
+  for (VertexId sa : {g.edge_u(a.edge), g.edge_v(a.edge)}) {
+    for (VertexId tb : {g.edge_u(b.edge), g.edge_v(b.edge)}) {
+      const double mid = VertexToVertex(sa, tb);
+      if (mid < kInfDistance) {
+        best = std::min(best, g.OffsetTo(a, sa) + mid + g.OffsetTo(b, tb));
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace gpssn

@@ -1,0 +1,98 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Contraction hierarchies (Geisberger et al. 2008) over the road network:
+// an exact distance oracle that preprocesses the graph by contracting
+// vertices in importance order (inserting shortcuts that preserve shortest
+// paths) and answers point-to-point queries with a bidirectional upward
+// search touching only a tiny fraction of the graph.
+//
+// This is the substrate a production deployment of GP-SSN would use for the
+// exact maxdist evaluations of the refinement phase on continental road
+// networks; the library's default Dijkstra engine remains the reference
+// implementation (and the two are equivalence-tested against each other).
+
+#ifndef GPSSN_ROADNET_CONTRACTION_HIERARCHY_H_
+#define GPSSN_ROADNET_CONTRACTION_HIERARCHY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_graph.h"
+#include "roadnet/shortest_path.h"
+
+namespace gpssn {
+
+struct ChOptions {
+  /// Hop limit of the witness searches during contraction (higher = fewer
+  /// shortcuts, slower preprocessing).
+  int witness_hop_limit = 8;
+  /// Settled-vertex budget per witness search.
+  int witness_settle_limit = 64;
+};
+
+/// Preprocessed hierarchy. Build once (seconds for 10^5-vertex graphs),
+/// then query from any number of ChQuery engines.
+class ContractionHierarchy {
+ public:
+  ContractionHierarchy() : ContractionHierarchy(ChOptions{}) {}
+  explicit ContractionHierarchy(ChOptions options);
+
+  /// Preprocesses `graph` (kept by pointer; must outlive the hierarchy).
+  void Build(const RoadNetwork* graph);
+
+  bool built() const { return graph_ != nullptr; }
+  const RoadNetwork& graph() const { return *graph_; }
+
+  /// Contraction rank of a vertex (higher = more important).
+  int rank(VertexId v) const { return rank_[v]; }
+
+  /// Number of shortcut edges added during preprocessing.
+  int num_shortcuts() const { return num_shortcuts_; }
+
+  /// Upward adjacency (arcs from v to higher-ranked vertices, original or
+  /// shortcut), used by the query engine.
+  struct UpArc {
+    VertexId to;
+    double weight;
+  };
+  const std::vector<UpArc>& up(VertexId v) const { return up_[v]; }
+
+ private:
+  friend class ChQuery;
+
+  ChOptions options_;
+  const RoadNetwork* graph_ = nullptr;
+  std::vector<int> rank_;
+  std::vector<std::vector<UpArc>> up_;
+  int num_shortcuts_ = 0;
+};
+
+/// Query engine over a built hierarchy. Reusable arenas; not thread-safe
+/// (one engine per thread).
+class ChQuery {
+ public:
+  explicit ChQuery(const ContractionHierarchy* ch);
+
+  /// Exact dist_RN(s, t) (kInfDistance when disconnected).
+  double VertexToVertex(VertexId s, VertexId t);
+
+  /// Exact distance between positions on edges (same-edge shortcut
+  /// included).
+  double PositionToPosition(const EdgePosition& a, const EdgePosition& b);
+
+  /// Vertices settled by the last query (both directions).
+  size_t last_settled() const { return last_settled_; }
+
+ private:
+  const ContractionHierarchy* ch_;
+  // Two-sided upward Dijkstra state.
+  std::vector<double> dist_[2];
+  std::vector<uint32_t> stamp_[2];
+  uint32_t generation_ = 0;
+  std::vector<std::pair<double, VertexId>> heap_[2];
+  size_t last_settled_ = 0;
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_ROADNET_CONTRACTION_HIERARCHY_H_

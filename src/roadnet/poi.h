@@ -1,0 +1,27 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Points of interest (Definition 2): facilities located on road edges,
+// each with a 2D location and a set of describing keywords.
+
+#ifndef GPSSN_ROADNET_POI_H_
+#define GPSSN_ROADNET_POI_H_
+
+#include <vector>
+
+#include "geom/point.h"
+#include "roadnet/types.h"
+
+namespace gpssn {
+
+/// One POI object o_i: id, a position on a road edge, the derived 2D
+/// location, and the keyword set o_i.K (sorted keyword ids).
+struct Poi {
+  PoiId id = kInvalidPoi;
+  EdgePosition position;
+  Point location;
+  std::vector<KeywordId> keywords;  // Sorted, unique.
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_ROADNET_POI_H_

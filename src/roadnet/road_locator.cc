@@ -1,0 +1,103 @@
+#include "roadnet/road_locator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace gpssn {
+
+double PointSegmentDistanceSq(const Point& p, const Point& a, const Point& b,
+                              double* t_out) {
+  const double abx = b.x - a.x, aby = b.y - a.y;
+  const double len_sq = abx * abx + aby * aby;
+  double t = 0.0;
+  if (len_sq > 0.0) {
+    t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len_sq;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  if (t_out != nullptr) *t_out = t;
+  const Point proj = Lerp(a, b, t);
+  return SquaredDistance(p, proj);
+}
+
+RoadLocator::RoadLocator(const RoadNetwork* graph) : graph_(graph) {
+  GPSSN_CHECK(graph != nullptr && graph->num_vertices() > 0);
+  Point lo, hi;
+  graph->BoundingBox(&lo, &hi);
+  min_x_ = lo.x;
+  min_y_ = lo.y;
+  const double span = std::max(hi.x - lo.x, hi.y - lo.y);
+  cells_ = std::max(1, static_cast<int>(std::sqrt(graph->num_vertices() / 2.0)));
+  cell_ = span > 0 ? span / cells_ : 1.0;
+  buckets_.resize(static_cast<size_t>(cells_) * cells_);
+  for (VertexId v = 0; v < graph->num_vertices(); ++v) {
+    const Point& p = graph->vertex_point(v);
+    const int cx = std::clamp(static_cast<int>((p.x - min_x_) / cell_), 0, cells_ - 1);
+    const int cy = std::clamp(static_cast<int>((p.y - min_y_) / cell_), 0, cells_ - 1);
+    buckets_[static_cast<size_t>(cy) * cells_ + cx].push_back(v);
+  }
+}
+
+void RoadLocator::Candidates(const Point& p, std::vector<VertexId>* out) const {
+  out->clear();
+  const int cx = std::clamp(static_cast<int>((p.x - min_x_) / cell_), 0, cells_ - 1);
+  const int cy = std::clamp(static_cast<int>((p.y - min_y_) / cell_), 0, cells_ - 1);
+  for (int ring = 0; ring < cells_; ++ring) {
+    const int lo_x = std::max(0, cx - ring), hi_x = std::min(cells_ - 1, cx + ring);
+    const int lo_y = std::max(0, cy - ring), hi_y = std::min(cells_ - 1, cy + ring);
+    for (int y = lo_y; y <= hi_y; ++y) {
+      for (int x = lo_x; x <= hi_x; ++x) {
+        if (ring > 0 && x > lo_x && x < hi_x && y > lo_y && y < hi_y) continue;
+        const auto& bucket = buckets_[static_cast<size_t>(y) * cells_ + x];
+        out->insert(out->end(), bucket.begin(), bucket.end());
+      }
+    }
+    // One extra ring after the first hit, to cover boundary effects.
+    if (!out->empty() && ring >= 1) return;
+    if (lo_x == 0 && lo_y == 0 && hi_x == cells_ - 1 && hi_y == cells_ - 1) {
+      return;
+    }
+  }
+}
+
+VertexId RoadLocator::NearestVertex(const Point& p) const {
+  std::vector<VertexId> candidates;
+  Candidates(p, &candidates);
+  GPSSN_CHECK(!candidates.empty());
+  VertexId best = candidates.front();
+  double best_d = std::numeric_limits<double>::infinity();
+  for (VertexId v : candidates) {
+    const double d = SquaredDistance(p, graph_->vertex_point(v));
+    if (d < best_d) {
+      best_d = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+EdgePosition RoadLocator::NearestEdgePosition(const Point& p) const {
+  std::vector<VertexId> candidates;
+  Candidates(p, &candidates);
+  GPSSN_CHECK(!candidates.empty());
+  EdgePosition best;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (VertexId v : candidates) {
+    for (const RoadArc& arc : graph_->Neighbors(v)) {
+      double t = 0.0;
+      const Point& a = graph_->vertex_point(graph_->edge_u(arc.edge));
+      const Point& b = graph_->vertex_point(graph_->edge_v(arc.edge));
+      const double d = PointSegmentDistanceSq(p, a, b, &t);
+      if (d < best_d) {
+        best_d = d;
+        best = EdgePosition{arc.edge, t};
+      }
+    }
+  }
+  GPSSN_CHECK(best.edge != kInvalidEdge);
+  return best;
+}
+
+}  // namespace gpssn

@@ -1,0 +1,47 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Maps arbitrary 2D points to positions on the road network (nearest edge),
+// used to place user homes derived from check-in centroids (Section 6.1:
+// "set to the centroid of POIs that s/he checked in").
+
+#ifndef GPSSN_ROADNET_ROAD_LOCATOR_H_
+#define GPSSN_ROADNET_ROAD_LOCATOR_H_
+
+#include <vector>
+
+#include "geom/point.h"
+#include "roadnet/road_graph.h"
+#include "roadnet/types.h"
+
+namespace gpssn {
+
+/// Grid-accelerated nearest-edge lookup over an immutable road network.
+class RoadLocator {
+ public:
+  explicit RoadLocator(const RoadNetwork* graph);
+
+  /// Vertex closest to `p` (Euclidean).
+  VertexId NearestVertex(const Point& p) const;
+
+  /// Position on the road network closest to `p`: the orthogonal projection
+  /// of `p` onto the best edge incident to the nearest vertices.
+  EdgePosition NearestEdgePosition(const Point& p) const;
+
+ private:
+  // Candidate vertices near p (grows the search ring until non-empty).
+  void Candidates(const Point& p, std::vector<VertexId>* out) const;
+
+  const RoadNetwork* graph_;
+  double min_x_, min_y_, cell_;
+  int cells_;
+  std::vector<std::vector<VertexId>> buckets_;
+};
+
+/// Squared distance from `p` to segment ab; `t_out` receives the clamped
+/// projection parameter in [0, 1].
+double PointSegmentDistanceSq(const Point& p, const Point& a, const Point& b,
+                              double* t_out);
+
+}  // namespace gpssn
+
+#endif  // GPSSN_ROADNET_ROAD_LOCATOR_H_

@@ -1,0 +1,184 @@
+#include "roadnet/shortest_path.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace gpssn {
+
+DijkstraEngine::DijkstraEngine(const RoadNetwork* graph) : graph_(graph) {
+  GPSSN_CHECK(graph != nullptr);
+  dist_.resize(graph->num_vertices(), kInfDistance);
+  stamp_.resize(graph->num_vertices(), 0);
+  settled_stamp_.resize(graph->num_vertices(), 0);
+}
+
+void DijkstraEngine::Reset() {
+  ++generation_;
+  if (generation_ == 0) {  // Stamp wrap-around: hard reset.
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    std::fill(settled_stamp_.begin(), settled_stamp_.end(), 0);
+    generation_ = 1;
+  }
+  settled_.clear();
+  heap_.clear();
+}
+
+void DijkstraEngine::Relax(VertexId v, double dist) {
+  if (stamp_[v] == generation_ && dist_[v] <= dist) return;
+  dist_[v] = dist;
+  stamp_[v] = generation_;
+  heap_.emplace_back(dist, v);
+  std::push_heap(heap_.begin(), heap_.end(), HeapGreater());
+}
+
+void DijkstraEngine::Run(const std::vector<std::pair<VertexId, double>>& seeds,
+                         double bound) {
+  RunWithTargets(seeds, bound, {});
+}
+
+void DijkstraEngine::RunWithTargets(
+    const std::vector<std::pair<VertexId, double>>& seeds, double bound,
+    const std::vector<VertexId>& targets) {
+  Reset();
+  for (const auto& [v, d] : seeds) {
+    GPSSN_CHECK(v >= 0 && v < graph_->num_vertices());
+    if (d <= bound) Relax(v, d);
+  }
+  size_t targets_left = 0;
+  for (VertexId t : targets) {
+    (void)t;
+    ++targets_left;
+  }
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater());
+    const auto [d, v] = heap_.back();
+    heap_.pop_back();
+    if (settled_stamp_[v] == generation_) continue;  // Stale entry.
+    if (d > bound) break;
+    settled_stamp_[v] = generation_;
+    settled_.push_back(v);
+    if (targets_left > 0) {
+      for (VertexId t : targets) {
+        if (t == v) {
+          --targets_left;
+          break;
+        }
+      }
+      if (targets_left == 0) return;
+    }
+    for (const RoadArc& arc : graph_->Neighbors(v)) {
+      const double nd = d + arc.weight;
+      if (nd <= bound) Relax(arc.to, nd);
+    }
+  }
+}
+
+void DijkstraEngine::RunFromVertex(VertexId source, double bound) {
+  Run({{source, 0.0}}, bound);
+}
+
+void DijkstraEngine::RunFromPosition(const EdgePosition& pos, double bound) {
+  const VertexId u = graph_->edge_u(pos.edge);
+  const VertexId v = graph_->edge_v(pos.edge);
+  Run({{u, graph_->OffsetTo(pos, u)}, {v, graph_->OffsetTo(pos, v)}}, bound);
+}
+
+double DijkstraEngine::Distance(VertexId v) const {
+  return settled_stamp_[v] == generation_ ? dist_[v] : kInfDistance;
+}
+
+double DijkstraEngine::DistanceToPosition(const EdgePosition& pos) const {
+  const VertexId u = graph_->edge_u(pos.edge);
+  const VertexId v = graph_->edge_v(pos.edge);
+  return std::min(Distance(u) + graph_->OffsetTo(pos, u),
+                  Distance(v) + graph_->OffsetTo(pos, v));
+}
+
+double SameEdgeDistance(const RoadNetwork& graph, const EdgePosition& a,
+                        const EdgePosition& b) {
+  if (a.edge != b.edge) return kInfDistance;
+  return std::abs(a.t - b.t) * graph.edge_weight(a.edge);
+}
+
+double DijkstraEngine::PositionToPosition(const EdgePosition& a,
+                                          const EdgePosition& b,
+                                          double bound) {
+  const double direct = SameEdgeDistance(*graph_, a, b);
+  const double effective_bound = std::min(bound, direct);
+  const VertexId bu = graph_->edge_u(b.edge);
+  const VertexId bv = graph_->edge_v(b.edge);
+  const VertexId au = graph_->edge_u(a.edge);
+  const VertexId av = graph_->edge_v(a.edge);
+  RunWithTargets({{au, graph_->OffsetTo(a, au)}, {av, graph_->OffsetTo(a, av)}},
+                 effective_bound, {bu, bv});
+  const double via_network = DistanceToPosition(b);
+  const double result = std::min(direct, via_network);
+  return result <= bound ? result : kInfDistance;
+}
+
+double DijkstraEngine::VertexToVertex(VertexId s, VertexId t, double bound) {
+  RunWithTargets({{s, 0.0}}, bound, {t});
+  const double d = Distance(t);
+  return d <= bound ? d : kInfDistance;
+}
+
+PoiLocator::PoiLocator(const RoadNetwork* graph, const std::vector<Poi>* pois)
+    : graph_(graph), pois_(pois) {
+  GPSSN_CHECK(graph != nullptr && pois != nullptr);
+  pois_on_edge_.resize(graph->num_edges());
+  for (const Poi& poi : *pois) {
+    GPSSN_CHECK(poi.position.edge >= 0 &&
+                poi.position.edge < graph->num_edges());
+    pois_on_edge_[poi.position.edge].push_back(poi.id);
+  }
+}
+
+std::vector<std::pair<PoiId, double>> PoiLocator::BallWithDistances(
+    const EdgePosition& center, double radius, DijkstraEngine* engine) const {
+  std::vector<std::pair<PoiId, double>> out;
+  engine->RunFromPosition(center, radius);
+
+  // Deduplicate edges incident to settled vertices.
+  std::vector<EdgeId> edges;
+  for (VertexId v : engine->Settled()) {
+    for (const RoadArc& arc : graph_->Neighbors(v)) {
+      if (!pois_on_edge_[arc.edge].empty()) edges.push_back(arc.edge);
+    }
+  }
+  // The center's own edge may carry in-range POIs even when no vertex is
+  // settled (tiny radius).
+  if (!pois_on_edge_[center.edge].empty()) edges.push_back(center.edge);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  for (EdgeId e : edges) {
+    const VertexId u = graph_->edge_u(e);
+    const VertexId v = graph_->edge_v(e);
+    const double du = engine->Distance(u);
+    const double dv = engine->Distance(v);
+    const double w = graph_->edge_weight(e);
+    for (PoiId id : pois_on_edge_[e]) {
+      const Poi& poi = (*pois_)[id];
+      double d = std::min(du + poi.position.t * w,
+                          dv + (1.0 - poi.position.t) * w);
+      if (e == center.edge) {
+        d = std::min(d, std::abs(center.t - poi.position.t) * w);
+      }
+      if (d <= radius) out.emplace_back(id, d);
+    }
+  }
+  return out;
+}
+
+std::vector<PoiId> PoiLocator::Ball(const EdgePosition& center, double radius,
+                                    DijkstraEngine* engine) const {
+  std::vector<PoiId> out;
+  for (const auto& [id, d] : BallWithDistances(center, radius, engine)) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace gpssn

@@ -1,0 +1,33 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Shared id types for the spatial-social network substrates.
+
+#ifndef GPSSN_ROADNET_TYPES_H_
+#define GPSSN_ROADNET_TYPES_H_
+
+#include <cstdint>
+
+namespace gpssn {
+
+using VertexId = int32_t;  // Road-network intersection.
+using EdgeId = int32_t;    // Road segment.
+using PoiId = int32_t;     // Point of interest.
+using UserId = int32_t;    // Social-network user.
+using KeywordId = int32_t; // Topic / keyword in the global vocabulary.
+
+inline constexpr VertexId kInvalidVertex = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+inline constexpr PoiId kInvalidPoi = -1;
+inline constexpr UserId kInvalidUser = -1;
+
+/// A location on a road edge: parameter `t` in [0, 1] measured from the
+/// edge's first endpoint toward its second. Users' homes and POIs are both
+/// modeled this way (Definitions 2-4 place them on edges of G_r).
+struct EdgePosition {
+  EdgeId edge = kInvalidEdge;
+  double t = 0.0;
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_ROADNET_TYPES_H_

@@ -1,0 +1,46 @@
+#include "socialnet/bfs.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace gpssn {
+
+BfsEngine::BfsEngine(const SocialNetwork* graph) : graph_(graph) {
+  GPSSN_CHECK(graph != nullptr);
+  hops_.resize(graph->num_users(), 0);
+  stamp_.resize(graph->num_users(), 0);
+}
+
+void BfsEngine::Run(UserId source, int max_hops) {
+  GPSSN_CHECK(source >= 0 && source < graph_->num_users());
+  ++generation_;
+  if (generation_ == 0) {
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    generation_ = 1;
+  }
+  visited_.clear();
+  hops_[source] = 0;
+  stamp_[source] = generation_;
+  visited_.push_back(source);
+  for (size_t head = 0; head < visited_.size(); ++head) {
+    const UserId u = visited_[head];
+    const int next_hops = hops_[u] + 1;
+    if (next_hops > max_hops) break;  // BFS order: all later labels >= hops_[u].
+    for (UserId v : graph_->Friends(u)) {
+      if (stamp_[v] == generation_) continue;
+      stamp_[v] = generation_;
+      hops_[v] = next_hops;
+      visited_.push_back(v);
+    }
+  }
+}
+
+int BfsEngine::Distance(UserId a, UserId b, int max_hops) {
+  if (a == b) return 0;
+  Run(a, max_hops);
+  return Hops(b);
+}
+
+}  // namespace gpssn

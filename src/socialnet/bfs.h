@@ -1,0 +1,52 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Hop-distance BFS on the social network: dist_SN(u, v) is the number of
+// friendship hops on the shortest path (Lemma 4 and Eq. 19 operate on it).
+// The engine owns a generation-stamped label arena for allocation-free reuse.
+
+#ifndef GPSSN_SOCIALNET_BFS_H_
+#define GPSSN_SOCIALNET_BFS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "socialnet/social_graph.h"
+
+namespace gpssn {
+
+inline constexpr int kUnreachableHops = std::numeric_limits<int>::max();
+
+/// Reusable BFS arena bound to one social network. Not thread-safe.
+class BfsEngine {
+ public:
+  explicit BfsEngine(const SocialNetwork* graph);
+
+  /// BFS from `source`, exploring only users within `max_hops` hops
+  /// (inclusive). After the call Hops(u) is exact for all users within the
+  /// bound and kUnreachableHops otherwise.
+  void Run(UserId source, int max_hops = std::numeric_limits<int>::max());
+
+  /// Hop label from the last run.
+  int Hops(UserId u) const {
+    return stamp_[u] == generation_ ? hops_[u] : kUnreachableHops;
+  }
+
+  /// Users visited by the last run, in BFS order (source first).
+  const std::vector<UserId>& Visited() const { return visited_; }
+
+  /// Exact pairwise hop distance with early exit.
+  int Distance(UserId a, UserId b,
+               int max_hops = std::numeric_limits<int>::max());
+
+ private:
+  const SocialNetwork* graph_;
+  std::vector<int> hops_;
+  std::vector<uint32_t> stamp_;
+  uint32_t generation_ = 0;
+  std::vector<UserId> visited_;  // Doubles as the BFS queue.
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_SOCIALNET_BFS_H_

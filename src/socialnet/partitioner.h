@@ -1,0 +1,53 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Multilevel graph partitioner for the social-network index I_S
+// (Section 4.1 partitions G_s "via standard graph partitioning methods such
+// as [METIS]"). This is a from-scratch implementation of the same algorithm
+// family: heavy-edge-matching coarsening, greedy region-growing initial
+// partition on the coarsest graph, and boundary (Fiduccia–Mattheyses style)
+// refinement during uncoarsening.
+
+#ifndef GPSSN_SOCIALNET_PARTITIONER_H_
+#define GPSSN_SOCIALNET_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "socialnet/social_graph.h"
+
+namespace gpssn {
+
+struct PartitionOptions {
+  /// Desired number of users per cell (leaf node of I_S). The number of
+  /// cells is ceil(m / target_cell_size).
+  int target_cell_size = 64;
+  /// Allowed imbalance: a cell may hold up to (1 + balance_slack) times the
+  /// average weight.
+  double balance_slack = 0.30;
+  /// Boundary-refinement passes per uncoarsening level.
+  int refinement_passes = 3;
+  /// Coarsening stops once the graph has at most this many times the number
+  /// of cells.
+  int coarsen_stop_factor = 4;
+  uint64_t seed = 1;
+};
+
+struct PartitionResult {
+  /// cell[u] in [0, num_cells) for every user u.
+  std::vector<int> cell;
+  int num_cells = 0;
+  /// Number of friendship edges crossing cells (lower = better locality).
+  int64_t cut_edges = 0;
+};
+
+/// Partitions the social network into balanced, low-cut cells.
+PartitionResult PartitionSocialNetwork(const SocialNetwork& graph,
+                                       const PartitionOptions& options);
+
+/// Computes the edge cut of an assignment (for tests / quality reporting).
+int64_t ComputeEdgeCut(const SocialNetwork& graph,
+                       const std::vector<int>& cell);
+
+}  // namespace gpssn
+
+#endif  // GPSSN_SOCIALNET_PARTITIONER_H_

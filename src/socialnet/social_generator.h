@@ -1,0 +1,105 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Synthetic social-network generators (Section 6.1): m users, each connected
+// to deg(G_s) random friends where the degree follows a Uniform or Zipf
+// distribution within [1, 10], plus a power-law-degree generator matched to
+// the real Brightkite/Gowalla statistics (Table 2).
+//
+// Both generators support COMMUNITY STRUCTURE with interest homophily:
+// users belong to latent communities, edges form preferentially inside the
+// community, and user topic choices are biased toward a per-community topic
+// profile. Real location-based social networks exhibit exactly this
+// correlation, and it is what gives the paper's social index I_S its
+// index-level pruning power (interest lb/ub boxes of partition cells are
+// only tight when friends share interests). Setting community_size = 0
+// disables the structure and yields the paper-literal fully random recipe.
+
+#ifndef GPSSN_SOCIALNET_SOCIAL_GENERATOR_H_
+#define GPSSN_SOCIALNET_SOCIAL_GENERATOR_H_
+
+#include "common/rng.h"
+#include "socialnet/social_graph.h"
+
+namespace gpssn {
+
+enum class Distribution {
+  kUniform,
+  kZipf,
+};
+
+/// How user interest vectors are drawn.
+struct InterestModel {
+  /// Sparse (default): each user cares about [topics_min, topics_max]
+  /// topics with weights in [weight_min, 1]; topic choice follows the
+  /// popularity distribution. Dense: every entry drawn from [0, 1]
+  /// (the paper's literal synthetic recipe; scores concentrate near d/4).
+  bool sparse = true;
+  int topics_min = 2;
+  int topics_max = 4;
+  double weight_min = 0.2;
+  /// Zipf exponent of topic popularity (sparse mode).
+  double topic_zipf_exponent = 0.25;
+};
+
+struct SocialGenOptions {
+  int num_users = 10000;
+  int num_topics = 50;
+  /// Per-user target degree drawn from [degree_min, degree_max] with this
+  /// distribution (paper: Uniform/Zipf within [1, 10]).
+  Distribution degree_distribution = Distribution::kUniform;
+  int degree_min = 1;
+  int degree_max = 10;
+  /// Zipf exponent for kZipf degree / dense-interest draws.
+  double zipf_exponent = 1.0;
+  /// Interest vectors: sparse homophilous (default) or paper-literal dense.
+  Distribution interest_distribution = Distribution::kUniform;
+  InterestModel interests;
+  /// Community structure; 0 disables it.
+  int community_size = 150;
+  double intra_community_edge_fraction = 0.7;
+  int community_profile_topics = 6;
+  /// Probability that a sparse topic pick comes from the community profile.
+  double profile_affinity = 0.92;
+  /// Ensure the friendship graph is connected (adds bridging edges).
+  bool ensure_connected = true;
+  uint64_t seed = 1;
+};
+
+/// Generates a social network per the paper's synthetic recipe (plus the
+/// homophily extension above). If `community_of` is non-null it receives
+/// each user's community id (all zero when community_size == 0).
+SocialNetwork GenerateSocialNetwork(const SocialGenOptions& options,
+                                    std::vector<int>* community_of = nullptr);
+
+struct PowerLawSocialOptions {
+  int num_users = 40000;
+  int num_topics = 50;
+  /// Target AVERAGE degree (Table 2: Brightkite 10.3, Gowalla 32.1).
+  double avg_degree = 10.3;
+  /// Power-law exponent of the degree sequence (2 < a < 3 for real social
+  /// networks).
+  double power_law_exponent = 2.5;
+  /// Community structure (same semantics as SocialGenOptions).
+  int community_size = 200;
+  double intra_community_edge_fraction = 0.7;
+  bool ensure_connected = true;
+  uint64_t seed = 1;
+};
+
+/// Power-law-degree generator (stub matching with community mixing) used by
+/// the Bri+Cal / Gow+Col real-data substitutes. Interest vectors are NOT
+/// assigned here (all zeros); the spatial-social dataset builder derives
+/// them from simulated check-in histories. If `community_of` is non-null it
+/// receives each user's community id.
+SocialNetwork GeneratePowerLawSocialNetwork(
+    const PowerLawSocialOptions& options,
+    std::vector<int>* community_of = nullptr);
+
+/// Draws a dense interest vector (paper-literal mode): d entries in [0, 1]
+/// with the given distribution.
+std::vector<double> DrawDenseInterestVector(int num_topics, Distribution dist,
+                                            double zipf_exponent, Rng* rng);
+
+}  // namespace gpssn
+
+#endif  // GPSSN_SOCIALNET_SOCIAL_GENERATOR_H_

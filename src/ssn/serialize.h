@@ -1,0 +1,32 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Text (de)serialization of spatial-social networks, so generated datasets
+// can be saved, inspected, and reloaded by tools and experiments.
+
+#ifndef GPSSN_SSN_SERIALIZE_H_
+#define GPSSN_SSN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "ssn/spatial_social_network.h"
+
+namespace gpssn {
+
+/// Writes `ssn` to `path` in the gpssn-v1 text format.
+Status SaveSsn(const SpatialSocialNetwork& ssn, const std::string& path);
+
+/// Reads a network previously written by SaveSsn. Validates the result.
+Result<SpatialSocialNetwork> LoadSsn(const std::string& path);
+
+/// Stream variants (used by the database-snapshot format, which embeds a
+/// network section): WriteSsnBody emits everything after the magic line;
+/// ReadSsnBody consumes exactly that.
+Status WriteSsnBody(std::ostream& out, const SpatialSocialNetwork& ssn);
+Result<SpatialSocialNetwork> ReadSsnBody(std::istream& in);
+
+}  // namespace gpssn
+
+#endif  // GPSSN_SSN_SERIALIZE_H_

@@ -1,0 +1,88 @@
+// Copyright 2026 The gpssn Authors.
+//
+// The spatial-social network G_rs (Definition 4): the integration of a
+// spatial road network G_r (with POIs on its edges) and a social network G_s
+// whose users live at positions on G_r's edges.
+
+#ifndef GPSSN_SSN_SPATIAL_SOCIAL_NETWORK_H_
+#define GPSSN_SSN_SPATIAL_SOCIAL_NETWORK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "roadnet/poi.h"
+#include "roadnet/road_graph.h"
+#include "socialnet/social_graph.h"
+
+namespace gpssn {
+
+/// Immutable combined network. Move-only aggregate of the two substrates
+/// plus the user→location links and the POI set O.
+class SpatialSocialNetwork {
+ public:
+  SpatialSocialNetwork() = default;
+  SpatialSocialNetwork(RoadNetwork road, SocialNetwork social,
+                       std::vector<EdgePosition> user_homes,
+                       std::vector<Poi> pois);
+
+  SpatialSocialNetwork(SpatialSocialNetwork&&) = default;
+  SpatialSocialNetwork& operator=(SpatialSocialNetwork&&) = default;
+  SpatialSocialNetwork(const SpatialSocialNetwork&) = delete;
+  SpatialSocialNetwork& operator=(const SpatialSocialNetwork&) = delete;
+
+  const RoadNetwork& road() const { return road_; }
+  const SocialNetwork& social() const { return social_; }
+
+  int num_users() const { return social_.num_users(); }
+  int num_pois() const { return static_cast<int>(pois_.size()); }
+  /// Dimensionality d of the topic/keyword vocabulary shared by user
+  /// interest vectors and POI keyword sets.
+  int num_topics() const { return social_.num_topics(); }
+
+  const EdgePosition& user_home(UserId u) const { return user_homes_[u]; }
+  Point user_point(UserId u) const { return road_.PositionPoint(user_homes_[u]); }
+
+  const std::vector<Poi>& pois() const { return pois_; }
+  const Poi& poi(PoiId id) const { return pois_[id]; }
+
+  /// Structural consistency checks: home/POI edges in range, POI ids dense,
+  /// keyword ids within the vocabulary, offsets in [0, 1].
+  Status Validate() const;
+
+  /// Dynamic maintenance: appends a new POI (a facility opening on an
+  /// existing road edge). The road/social topology stays immutable; only
+  /// the POI set O grows. Returns the new dense id. Indexes built over
+  /// this network must be informed (see PoiIndex::InsertPoi).
+  Result<PoiId> AddPoi(const EdgePosition& position,
+                       std::vector<KeywordId> keywords);
+
+  /// Dynamic maintenance: replaces one user's interest vector (see
+  /// SocialNetwork::SetInterests).
+  Status UpdateUserInterests(UserId u, std::span<const double> interests) {
+    return social_.SetInterests(u, interests);
+  }
+
+ private:
+  RoadNetwork road_;
+  SocialNetwork social_;
+  std::vector<EdgePosition> user_homes_;
+  std::vector<Poi> pois_;
+};
+
+/// Summary statistics (reproduces the columns of Table 2).
+struct SsnStats {
+  int social_vertices = 0;
+  double social_avg_degree = 0.0;
+  int road_vertices = 0;
+  double road_avg_degree = 0.0;
+  int num_pois = 0;
+  int num_topics = 0;
+};
+
+SsnStats ComputeStats(const SpatialSocialNetwork& ssn);
+
+}  // namespace gpssn
+
+#endif  // GPSSN_SSN_SPATIAL_SOCIAL_NETWORK_H_

@@ -1,0 +1,67 @@
+// Tests for the error-propagation macros.
+
+#include "common/macros.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace gpssn {
+namespace {
+
+Status FailWhen(bool fail) {
+  if (fail) return Status::NotFound("nope");
+  return Status::OK();
+}
+
+Status Chained(bool fail, int* reached) {
+  GPSSN_RETURN_NOT_OK(FailWhen(fail));
+  *reached = 1;
+  return Status::OK();
+}
+
+TEST(MacrosTest, ReturnNotOkPropagates) {
+  int reached = 0;
+  EXPECT_TRUE(Chained(true, &reached).IsNotFound());
+  EXPECT_EQ(reached, 0);
+  EXPECT_TRUE(Chained(false, &reached).ok());
+  EXPECT_EQ(reached, 1);
+}
+
+Result<int> ProduceValue(bool fail) {
+  if (fail) return Status::OutOfRange("bad");
+  return 41;
+}
+
+Status ConsumeValue(bool fail, int* out) {
+  GPSSN_ASSIGN_OR_RETURN(const int v, ProduceValue(fail));
+  *out = v + 1;
+  return Status::OK();
+}
+
+TEST(MacrosTest, AssignOrReturnBindsValue) {
+  int out = 0;
+  EXPECT_TRUE(ConsumeValue(false, &out).ok());
+  EXPECT_EQ(out, 42);
+}
+
+TEST(MacrosTest, AssignOrReturnPropagatesError) {
+  int out = 0;
+  EXPECT_TRUE(ConsumeValue(true, &out).IsOutOfRange());
+  EXPECT_EQ(out, 0);
+}
+
+TEST(MacrosTest, CheckOkPassesOnOk) {
+  GPSSN_CHECK_OK(Status::OK());  // Must not abort.
+  GPSSN_CHECK(1 + 1 == 2);
+}
+
+TEST(MacrosDeathTest, CheckAbortsOnFailure) {
+  EXPECT_DEATH(GPSSN_CHECK(false), "GPSSN_CHECK failed");
+  EXPECT_DEATH(GPSSN_CHECK_OK(Status::Internal("boom")),
+               "GPSSN_CHECK_OK failed");
+}
+
+}  // namespace
+}  // namespace gpssn

@@ -1,0 +1,93 @@
+// Tests for the simulated paged storage and LRU buffer pool (the I/O
+// metric's substrate).
+
+#include "common/pagestore.h"
+
+#include <gtest/gtest.h>
+
+namespace gpssn {
+namespace {
+
+TEST(PageAllocatorTest, PacksSmallObjectsOnOnePage) {
+  PageAllocator alloc(100);
+  const PageId a = alloc.Place(40);
+  const PageId b = alloc.Place(40);
+  EXPECT_EQ(a, b);  // Both fit on the first page.
+  const PageId c = alloc.Place(40);  // 120 > 100: next page.
+  EXPECT_EQ(c, a + 1);
+}
+
+TEST(PageAllocatorTest, LargeObjectsSpanPages) {
+  PageAllocator alloc(100);
+  alloc.Place(10);
+  const PageId big = alloc.Place(250);  // Needs 3 pages, starts fresh.
+  EXPECT_EQ(big, 1u);
+  EXPECT_EQ(alloc.PagesSpanned(250), 3u);
+  const PageId next = alloc.Place(10);
+  EXPECT_EQ(next, 4u);
+}
+
+TEST(PageAllocatorTest, ZeroByteObjectsStillGetAPage) {
+  PageAllocator alloc(100);
+  const PageId a = alloc.Place(0);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(alloc.PagesSpanned(1), 1u);
+}
+
+TEST(BufferPoolTest, ColdAccessesMiss) {
+  BufferPool pool(4);
+  pool.Access(1);
+  pool.Access(2);
+  EXPECT_EQ(pool.stats().logical_accesses, 2u);
+  EXPECT_EQ(pool.stats().page_misses, 2u);
+}
+
+TEST(BufferPoolTest, WarmAccessesHit) {
+  BufferPool pool(4);
+  pool.Access(1);
+  pool.Access(1);
+  pool.Access(1);
+  EXPECT_EQ(pool.stats().logical_accesses, 3u);
+  EXPECT_EQ(pool.stats().page_misses, 1u);
+}
+
+TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
+  BufferPool pool(2);
+  pool.Access(1);  // miss
+  pool.Access(2);  // miss
+  pool.Access(1);  // hit (1 now MRU)
+  pool.Access(3);  // miss, evicts 2
+  pool.Access(1);  // hit
+  pool.Access(2);  // miss again
+  EXPECT_EQ(pool.stats().page_misses, 4u);
+  EXPECT_EQ(pool.stats().logical_accesses, 6u);
+}
+
+TEST(BufferPoolTest, ZeroCapacityAlwaysMisses) {
+  BufferPool pool(0);
+  for (int i = 0; i < 5; ++i) pool.Access(7);
+  EXPECT_EQ(pool.stats().page_misses, 5u);
+}
+
+TEST(BufferPoolTest, AccessRunTouchesConsecutivePages) {
+  BufferPool pool(16);
+  pool.AccessRun(10, 3);
+  EXPECT_EQ(pool.stats().logical_accesses, 3u);
+  EXPECT_EQ(pool.stats().page_misses, 3u);
+  pool.Access(11);
+  EXPECT_EQ(pool.stats().page_misses, 3u);  // Already cached.
+}
+
+TEST(BufferPoolTest, ClearDropsCacheKeepsStats) {
+  BufferPool pool(4);
+  pool.Access(1);
+  pool.Clear();
+  pool.Access(1);
+  EXPECT_EQ(pool.stats().page_misses, 2u);
+  pool.ResetStats();
+  EXPECT_EQ(pool.stats().page_misses, 0u);
+  EXPECT_EQ(pool.stats().logical_accesses, 0u);
+}
+
+}  // namespace
+}  // namespace gpssn

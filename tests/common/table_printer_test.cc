@@ -1,0 +1,43 @@
+// Tests for the aligned-table printer used by the benchmark harness.
+
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace gpssn {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-name", "22"});
+  const std::string out = t.ToString();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Every line begins at the same column widths: the value column starts
+  // after the widest name plus two spaces.
+  EXPECT_NE(out.find("longer-name  22"), std::string::npos);
+  EXPECT_NE(out.find("name         value"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HeaderOnlyTable) {
+  TablePrinter t({"x"});
+  const std::string out = t.ToString();
+  EXPECT_EQ(out, "x\n-\n");
+}
+
+TEST(TablePrinterTest, NumFormatsSignificantDigits) {
+  EXPECT_EQ(TablePrinter::Num(0.123456, 3), "0.123");
+  EXPECT_EQ(TablePrinter::Num(1000000.0, 4), "1e+06");
+  EXPECT_EQ(TablePrinter::Num(42.0, 4), "42");
+}
+
+TEST(TablePrinterTest, RuleMatchesWidths) {
+  TablePrinter t({"ab", "c"});
+  t.AddRow({"x", "yyyy"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("--  ----"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpssn

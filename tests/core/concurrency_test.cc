@@ -1,0 +1,76 @@
+// Thread-compatibility test: the built indexes are immutable shared state;
+// each thread owns its own GpssnProcessor (the documented threading model).
+// Concurrent query results must equal serial ones.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/query.h"
+#include "ssn/dataset.h"
+
+namespace gpssn {
+namespace {
+
+TEST(ConcurrencyTest, PerThreadProcessorsAgreeWithSerialExecution) {
+  SyntheticSsnOptions data;
+  data.num_road_vertices = 400;
+  data.num_pois = 200;
+  data.num_users = 400;
+  data.num_topics = 20;
+  data.seed = 77;
+  GpssnBuildOptions build;
+  build.social_index.leaf_cell_size = 16;
+  GpssnDatabase db(MakeSynthetic(data), build);
+
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 6;
+
+  // Serial reference results through the database's own processor.
+  std::vector<std::vector<GpssnAnswer>> expected(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kQueriesPerThread; ++i) {
+      GpssnQuery q;
+      q.issuer = (t * 97 + i * 31) % db.ssn().num_users();
+      q.tau = 2 + (i % 3);
+      auto answer = db.Query(q);
+      ASSERT_TRUE(answer.ok());
+      expected[t].push_back(*std::move(answer));
+    }
+  }
+
+  // Concurrent runs: one processor per thread over the shared indexes.
+  std::vector<std::vector<GpssnAnswer>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, &got, t]() {
+      GpssnProcessor processor(&db.poi_index(), &db.social_index());
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        GpssnQuery q;
+        q.issuer = (t * 97 + i * 31) % db.ssn().num_users();
+        q.tau = 2 + (i % 3);
+        auto answer = processor.Execute(q, QueryOptions{});
+        if (answer.ok()) got[t].push_back(*std::move(answer));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(got[t].size(), expected[t].size()) << "thread " << t;
+    for (int i = 0; i < kQueriesPerThread; ++i) {
+      ASSERT_EQ(got[t][i].found, expected[t][i].found)
+          << "thread " << t << " query " << i;
+      if (expected[t][i].found) {
+        EXPECT_EQ(got[t][i].users, expected[t][i].users);
+        EXPECT_DOUBLE_EQ(got[t][i].max_dist, expected[t][i].max_dist);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpssn

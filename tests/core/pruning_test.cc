@@ -1,0 +1,231 @@
+// Soundness property tests for every pruning rule: a pruned candidate must
+// genuinely violate the corresponding predicate of Definition 5.
+
+#include "core/pruning.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scores.h"
+#include "roadnet/shortest_path.h"
+#include "socialnet/bfs.h"
+#include "ssn/dataset.h"
+
+namespace gpssn {
+namespace {
+
+class PruningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticSsnOptions data;
+    data.num_road_vertices = 400;
+    data.num_pois = 250;
+    data.num_users = 600;
+    data.num_topics = 30;
+    data.seed = 61;
+    ssn_ = std::make_unique<SpatialSocialNetwork>(MakeSynthetic(data));
+    road_pivots_ = std::make_unique<RoadPivotTable>(
+        ssn_->road(), RandomRoadPivots(ssn_->road(), 4, 1));
+    social_pivots_ = std::make_unique<SocialPivotTable>(
+        ssn_->social(), RandomSocialPivots(ssn_->social(), 4, 2));
+    SocialIndexOptions social_options;
+    social_options.leaf_cell_size = 32;
+    social_index_ = std::make_unique<SocialIndex>(
+        ssn_.get(), social_pivots_.get(), road_pivots_.get(), social_options);
+    PoiIndexOptions poi_options;
+    poi_options.r_min = 0.5;
+    poi_options.r_max = 3.0;
+    poi_index_ = std::make_unique<PoiIndex>(ssn_.get(), road_pivots_.get(),
+                                            poi_options);
+  }
+
+  GpssnQuery MakeQuery(UserId issuer) {
+    GpssnQuery q;
+    q.issuer = issuer;
+    q.tau = 4;
+    q.gamma = 0.3;
+    q.theta = 0.3;
+    q.radius = 2.0;
+    return q;
+  }
+
+  std::unique_ptr<SpatialSocialNetwork> ssn_;
+  std::unique_ptr<RoadPivotTable> road_pivots_;
+  std::unique_ptr<SocialPivotTable> social_pivots_;
+  std::unique_ptr<SocialIndex> social_index_;
+  std::unique_ptr<PoiIndex> poi_index_;
+};
+
+TEST_F(PruningTest, UserInterestPruningMatchesDefinition) {
+  const GpssnQuery q = MakeQuery(10);
+  const QueryUserContext ctx(q, *social_index_);
+  for (UserId u = 0; u < ssn_->num_users(); ++u) {
+    const auto w = ssn_->social().Interests(u);
+    const bool pruned = PruneUserInterest(ctx, w);
+    const bool fails = InterestScore(ctx.w_q, w) < q.gamma;
+    ASSERT_EQ(pruned, fails) << "user " << u;
+  }
+}
+
+TEST_F(PruningTest, UserSocialDistancePruningIsSound) {
+  const GpssnQuery q = MakeQuery(25);
+  const QueryUserContext ctx(q, *social_index_);
+  BfsEngine bfs(&ssn_->social());
+  bfs.Run(q.issuer);
+  for (UserId u = 0; u < ssn_->num_users(); ++u) {
+    if (PruneUserSocialDistance(ctx, *social_pivots_, u)) {
+      // True hops must indeed be >= tau (lower bound soundness).
+      ASSERT_GE(bfs.Hops(u), q.tau) << "user " << u;
+    }
+  }
+}
+
+TEST_F(PruningTest, SocialNodeInterestPruningIsSound) {
+  const GpssnQuery q = MakeQuery(42);
+  const QueryUserContext ctx(q, *social_index_);
+  // If a node is pruned, every user beneath it must individually fail γ.
+  std::vector<SNodeId> stack = {social_index_->root()};
+  while (!stack.empty()) {
+    const SNodeId id = stack.back();
+    stack.pop_back();
+    const SocialIndexNode& node = social_index_->node(id);
+    if (PruneSocialNodeInterest(ctx, node)) {
+      std::vector<SNodeId> inner = {id};
+      while (!inner.empty()) {
+        const SocialIndexNode& n = social_index_->node(inner.back());
+        inner.pop_back();
+        if (n.is_leaf()) {
+          for (UserId u : n.users) {
+            ASSERT_TRUE(PruneUserInterest(ctx, ssn_->social().Interests(u)));
+          }
+        } else {
+          inner.insert(inner.end(), n.children.begin(), n.children.end());
+        }
+      }
+    } else if (!node.is_leaf()) {
+      stack.insert(stack.end(), node.children.begin(), node.children.end());
+    }
+  }
+}
+
+TEST_F(PruningTest, SocialNodeDistanceLowerBoundIsSound) {
+  const GpssnQuery q = MakeQuery(33);
+  const QueryUserContext ctx(q, *social_index_);
+  BfsEngine bfs(&ssn_->social());
+  bfs.Run(q.issuer);
+  for (SNodeId id = 0; id < social_index_->num_nodes(); ++id) {
+    const SocialIndexNode& node = social_index_->node(id);
+    if (!node.is_leaf()) continue;
+    const int lb = LbHopsToSocialNode(ctx, node);
+    for (UserId u : node.users) {
+      const int hops = bfs.Hops(u);
+      if (hops != kUnreachableHops) {
+        ASSERT_LE(lb, hops) << "node " << id << " user " << u;
+      }
+    }
+  }
+}
+
+TEST_F(PruningTest, PoiMatchPruningIsSoundForAnyRadius) {
+  const GpssnQuery q = MakeQuery(7);
+  const QueryUserContext ctx(q, *social_index_);
+  DijkstraEngine engine(&ssn_->road());
+  PoiLocator locator(&ssn_->road(), &ssn_->pois());
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const PoiId center = rng.NextBounded(ssn_->num_pois());
+    if (!PrunePoiMatch(ctx, poi_index_->poi_aug(center))) continue;
+    // Pruned center: the true match score of u_q against ANY ball within
+    // the envelope must be below θ.
+    const double r = rng.UniformDouble(0.5, 3.0);
+    const auto ball = locator.Ball(ssn_->poi(center).position, r, &engine);
+    const auto kws = UnionKeywords(*ssn_, ball);
+    ASSERT_LT(MatchScore(ctx.w_q, kws), q.theta);
+  }
+}
+
+TEST_F(PruningTest, RoadNodeMatchPruningImpliesPoiPruning) {
+  const GpssnQuery q = MakeQuery(5);
+  const QueryUserContext ctx(q, *social_index_);
+  for (RNodeId id = 0; id < poi_index_->tree().num_nodes(); ++id) {
+    const RTreeNode& node = poi_index_->tree().node(id);
+    if (!node.is_leaf()) continue;
+    if (!PruneRoadNodeMatch(ctx, poi_index_->node_aug(id))) continue;
+    for (const RTreeEntry& e : node.entries) {
+      ASSERT_TRUE(PrunePoiMatch(ctx, poi_index_->poi_aug(e.id)))
+          << "node-level pruning must imply object-level pruning";
+    }
+  }
+}
+
+TEST_F(PruningTest, LbDistToPoiNeverExceedsTrueDistance) {
+  const GpssnQuery q = MakeQuery(11);
+  const QueryUserContext ctx(q, *social_index_);
+  DijkstraEngine engine(&ssn_->road());
+  for (PoiId o = 0; o < ssn_->num_pois(); o += 7) {
+    const double truth = engine.PositionToPosition(
+        ssn_->user_home(q.issuer), ssn_->poi(o).position);
+    const double lb = LbDistToPoi(ctx, poi_index_->poi_aug(o));
+    if (std::isfinite(truth)) {
+      ASSERT_LE(lb, truth + 1e-9) << "poi " << o;
+    }
+  }
+}
+
+TEST_F(PruningTest, NodeLbIsBelowMemberLb) {
+  const GpssnQuery q = MakeQuery(13);
+  const QueryUserContext ctx(q, *social_index_);
+  for (RNodeId id = 0; id < poi_index_->tree().num_nodes(); ++id) {
+    const RTreeNode& node = poi_index_->tree().node(id);
+    if (!node.is_leaf()) continue;
+    const PoiNodeAug& aug = poi_index_->node_aug(id);
+    const double node_lb = LbMaxDistToRoadNode(ctx, aug.lb_pivot, aug.ub_pivot);
+    for (const RTreeEntry& e : node.entries) {
+      ASSERT_LE(node_lb,
+                LbDistToPoi(ctx, poi_index_->poi_aug(e.id)) + 1e-9);
+    }
+  }
+}
+
+TEST_F(PruningTest, UbMaxDistViaCenterBoundsRealMaxdist) {
+  const GpssnQuery q = MakeQuery(17);
+  const QueryUserContext ctx(q, *social_index_);
+  DijkstraEngine engine(&ssn_->road());
+  PoiLocator locator(&ssn_->road(), &ssn_->pois());
+  // S = {issuer}: the context's own pivot distances upper-bound everything.
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const PoiId center = rng.NextBounded(ssn_->num_pois());
+    const double ub =
+        UbMaxDistViaCenter(ctx.rp_dist, poi_index_->poi_aug(center), q.radius);
+    const auto ball = locator.Ball(ssn_->poi(center).position, q.radius, &engine);
+    double true_max = 0;
+    DijkstraEngine user_engine(&ssn_->road());
+    for (PoiId o : ball) {
+      true_max = std::max(true_max,
+                          user_engine.PositionToPosition(
+                              ssn_->user_home(q.issuer), ssn_->poi(o).position));
+    }
+    if (std::isfinite(true_max)) {
+      ASSERT_GE(ub + 1e-9, true_max) << "center " << center;
+    }
+  }
+}
+
+TEST_F(PruningTest, UserPoiPairBoundsSandwich) {
+  DijkstraEngine engine(&ssn_->road());
+  Rng rng(5);
+  for (int trial = 0; trial < 60; ++trial) {
+    const UserId u = rng.NextBounded(ssn_->num_users());
+    const PoiId o = rng.NextBounded(ssn_->num_pois());
+    const auto& rp = social_index_->user_road_pivot_dists(u);
+    const PoiAug& aug = poi_index_->poi_aug(o);
+    const double truth =
+        engine.PositionToPosition(ssn_->user_home(u), ssn_->poi(o).position);
+    if (!std::isfinite(truth)) continue;
+    ASSERT_LE(LbUserPoiDist(rp, aug), truth + 1e-9);
+    ASSERT_GE(UbUserPoiDist(rp, aug), truth - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace gpssn

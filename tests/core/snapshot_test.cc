@@ -1,0 +1,136 @@
+// Tests for database snapshots: a restored database must answer every
+// query exactly like the original, and malformed snapshots must fail
+// cleanly.
+
+#include "core/snapshot.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "ssn/dataset.h"
+
+namespace gpssn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::unique_ptr<GpssnDatabase> BuildSmall(uint64_t seed) {
+  SyntheticSsnOptions data;
+  data.num_road_vertices = 300;
+  data.num_pois = 150;
+  data.num_users = 250;
+  data.num_topics = 20;
+  data.space_size = 20.0;
+  data.seed = seed;
+  GpssnBuildOptions build;
+  build.num_road_pivots = 3;
+  build.num_social_pivots = 4;
+  build.social_index.leaf_cell_size = 16;
+  build.seed = seed;
+  return std::make_unique<GpssnDatabase>(MakeSynthetic(data), build);
+}
+
+TEST(SnapshotTest, RoundTripPreservesEveryAnswer) {
+  auto original = BuildSmall(1);
+  const std::string path = TempPath("db.snapshot");
+  ASSERT_TRUE(SaveSnapshot(*original, path).ok());
+  auto restored = LoadSnapshot(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  // Pivot ids and per-POI keyword sets must match exactly.
+  EXPECT_EQ((*restored)->road_pivots().pivots(),
+            original->road_pivots().pivots());
+  EXPECT_EQ((*restored)->social_pivots().pivots(),
+            original->social_pivots().pivots());
+  for (PoiId id = 0; id < original->ssn().num_pois(); ++id) {
+    EXPECT_EQ((*restored)->poi_index().poi_aug(id).sup_keywords,
+              original->poi_index().poi_aug(id).sup_keywords);
+    EXPECT_EQ((*restored)->poi_index().poi_aug(id).sub_keywords,
+              original->poi_index().poi_aug(id).sub_keywords);
+  }
+
+  // Identical answers across a spread of queries.
+  for (int i = 0; i < 10; ++i) {
+    GpssnQuery q;
+    q.issuer = (i * 37) % original->ssn().num_users();
+    q.tau = 2 + (i % 3);
+    q.gamma = 0.25;
+    q.theta = 0.25;
+    q.radius = 2.0;
+    auto a = original->Query(q);
+    auto b = (*restored)->Query(q);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->found, b->found) << "query " << i;
+    if (a->found) {
+      EXPECT_EQ(a->users, b->users) << "query " << i;
+      EXPECT_EQ(a->center, b->center) << "query " << i;
+      EXPECT_DOUBLE_EQ(a->max_dist, b->max_dist) << "query " << i;
+    }
+  }
+}
+
+TEST(SnapshotTest, SnapshotAfterDynamicInsertsStaysConsistent) {
+  auto db = BuildSmall(2);
+  // Open a few facilities, then snapshot.
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    const EdgePosition pos{
+        static_cast<EdgeId>(rng.NextBounded(db->ssn().road().num_edges())),
+        rng.UniformDouble()};
+    ASSERT_TRUE(
+        db->AddPoi(pos, {static_cast<KeywordId>(rng.NextBounded(20))}).ok());
+  }
+  const std::string path = TempPath("db-dynamic.snapshot");
+  ASSERT_TRUE(SaveSnapshot(*db, path).ok());
+  auto restored = LoadSnapshot(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->ssn().num_pois(), db->ssn().num_pois());
+  GpssnQuery q;
+  q.issuer = 11;
+  q.tau = 3;
+  auto a = db->Query(q);
+  auto b = (*restored)->Query(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->found, b->found);
+  if (a->found) {
+    EXPECT_DOUBLE_EQ(a->max_dist, b->max_dist);
+  }
+}
+
+TEST(SnapshotTest, RejectsMalformedSnapshots) {
+  EXPECT_TRUE(LoadSnapshot(TempPath("missing.snapshot")).status().IsIoError());
+  {
+    std::ofstream out(TempPath("badmagic.snapshot"));
+    out << "not-a-snapshot\n";
+  }
+  EXPECT_TRUE(
+      LoadSnapshot(TempPath("badmagic.snapshot")).status().IsIoError());
+
+  // Truncate a valid snapshot at several points.
+  auto db = BuildSmall(3);
+  const std::string path = TempPath("trunc-src.snapshot");
+  ASSERT_TRUE(SaveSnapshot(*db, path).ok());
+  std::string contents;
+  {
+    std::ifstream in(path);
+    contents.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  for (double fraction : {0.2, 0.5, 0.9, 0.99}) {
+    const std::string cut_path = TempPath("trunc.snapshot");
+    {
+      std::ofstream out(cut_path);
+      out << contents.substr(0,
+                             static_cast<size_t>(contents.size() * fraction));
+    }
+    EXPECT_FALSE(LoadSnapshot(cut_path).ok()) << "fraction " << fraction;
+  }
+}
+
+}  // namespace
+}  // namespace gpssn

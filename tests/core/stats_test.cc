@@ -1,0 +1,56 @@
+// Tests for query-statistics reporting.
+
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace gpssn {
+namespace {
+
+TEST(QueryStatsTest, DefaultsAreZero) {
+  QueryStats stats;
+  EXPECT_EQ(stats.cpu_seconds, 0.0);
+  EXPECT_EQ(stats.PageAccesses(), 0u);
+  EXPECT_FALSE(stats.truncated);
+}
+
+TEST(QueryStatsTest, PageAccessesAreBufferMisses) {
+  QueryStats stats;
+  stats.io.logical_accesses = 100;
+  stats.io.page_misses = 37;
+  EXPECT_EQ(stats.PageAccesses(), 37u);
+}
+
+TEST(QueryStatsTest, ToStringContainsEveryCounterGroup) {
+  QueryStats stats;
+  stats.cpu_seconds = 0.5;
+  stats.io.page_misses = 12;
+  stats.io.logical_accesses = 40;
+  stats.social_nodes_visited = 3;
+  stats.users_seen = 99;
+  stats.road_nodes_visited = 4;
+  stats.pois_seen = 55;
+  stats.groups_enumerated = 6;
+  stats.pairs_examined = 7;
+  stats.truncated = true;
+  const std::string s = stats.ToString();
+  EXPECT_NE(s.find("cpu=0.5"), std::string::npos);
+  EXPECT_NE(s.find("io=12"), std::string::npos);
+  EXPECT_NE(s.find("logical=40"), std::string::npos);
+  EXPECT_NE(s.find("users seen=99"), std::string::npos);
+  EXPECT_NE(s.find("pois seen=55"), std::string::npos);
+  EXPECT_NE(s.find("groups=6"), std::string::npos);
+  EXPECT_NE(s.find("truncated=1"), std::string::npos);
+}
+
+TEST(IoStatsTest, ResetClearsCounters) {
+  IoStats io;
+  io.logical_accesses = 5;
+  io.page_misses = 2;
+  io.Reset();
+  EXPECT_EQ(io.logical_accesses, 0u);
+  EXPECT_EQ(io.page_misses, 0u);
+}
+
+}  // namespace
+}  // namespace gpssn

@@ -1,0 +1,147 @@
+// Property tests for the user pruning region (Section 3.2): the paper's
+// mirror-point formulation must coincide with the dot-product condition,
+// and the node (box) tests must be sound.
+
+#include "geom/pruning_region.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gpssn {
+namespace {
+
+std::vector<double> RandomInterestVector(int d, Rng* rng, double sparsity) {
+  std::vector<double> w(d, 0.0);
+  for (double& p : w) {
+    if (rng->UniformDouble() > sparsity) p = rng->UniformDouble();
+  }
+  return w;
+}
+
+class PruningRegionPropertyTest : public ::testing::TestWithParam<int> {};
+
+// The mirror-point test (Cases 1 and 2 of Fig. 5) is EXACTLY the
+// dot-product condition x·w < γ, for any anchor and threshold.
+TEST_P(PruningRegionPropertyTest, MirrorEqualsDotCondition) {
+  const int d = GetParam();
+  Rng rng(100 + d);
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto anchor = RandomInterestVector(d, &rng, 0.3);
+    const double gamma = rng.UniformDouble(0.05, 1.2);
+    const PruningRegion region(anchor, gamma);
+    for (int probe = 0; probe < 10; ++probe) {
+      const auto x = RandomInterestVector(d, &rng, 0.3);
+      const bool dot = region.PrunesVector(x);
+      const bool mirror = region.PrunesVectorMirror(x);
+      ASSERT_EQ(dot, mirror)
+          << "d=" << d << " gamma=" << gamma << " case1=" << region.is_case1();
+    }
+  }
+}
+
+// Box test soundness: if PrunesBox says yes, every vector in the box is
+// individually prunable.
+TEST_P(PruningRegionPropertyTest, BoxTestIsSound) {
+  const int d = GetParam();
+  Rng rng(200 + d);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto anchor = RandomInterestVector(d, &rng, 0.3);
+    const double gamma = rng.UniformDouble(0.05, 1.0);
+    const PruningRegion region(anchor, gamma);
+    std::vector<double> lb(d), ub(d);
+    for (int f = 0; f < d; ++f) {
+      const double a = rng.UniformDouble();
+      const double b = rng.UniformDouble();
+      lb[f] = std::min(a, b);
+      ub[f] = std::max(a, b);
+    }
+    if (!region.PrunesBox(lb, ub)) continue;
+    for (int probe = 0; probe < 12; ++probe) {
+      std::vector<double> x(d);
+      for (int f = 0; f < d; ++f) x[f] = rng.UniformDouble(lb[f], ub[f]);
+      ASSERT_TRUE(region.PrunesVector(x));
+    }
+  }
+}
+
+// The exact box test is complete for non-negative anchors: when it declines
+// to prune, the corner `ub` itself is not prunable.
+TEST_P(PruningRegionPropertyTest, BoxTestIsTightAtUpperCorner) {
+  const int d = GetParam();
+  Rng rng(300 + d);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto anchor = RandomInterestVector(d, &rng, 0.3);
+    const double gamma = rng.UniformDouble(0.05, 1.0);
+    const PruningRegion region(anchor, gamma);
+    std::vector<double> lb(d), ub(d);
+    for (int f = 0; f < d; ++f) {
+      const double a = rng.UniformDouble();
+      const double b = rng.UniformDouble();
+      lb[f] = std::min(a, b);
+      ub[f] = std::max(a, b);
+    }
+    if (!region.PrunesBox(lb, ub)) {
+      ASSERT_FALSE(region.PrunesVector(ub));
+    }
+  }
+}
+
+// The paper-literal mirror box test is conservative: it never prunes a box
+// the exact test keeps.
+TEST_P(PruningRegionPropertyTest, MirrorBoxImpliesExactBox) {
+  const int d = GetParam();
+  Rng rng(400 + d);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto anchor = RandomInterestVector(d, &rng, 0.3);
+    const double gamma = rng.UniformDouble(0.05, 1.0);
+    const PruningRegion region(anchor, gamma);
+    std::vector<double> lb(d), ub(d);
+    for (int f = 0; f < d; ++f) {
+      const double a = rng.UniformDouble();
+      const double b = rng.UniformDouble();
+      lb[f] = std::min(a, b);
+      ub[f] = std::max(a, b);
+    }
+    if (region.PrunesBoxMirror(lb, ub)) {
+      ASSERT_TRUE(region.PrunesBox(lb, ub));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, PruningRegionPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 25));
+
+TEST(PruningRegionTest, ZeroAnchorPrunesEverythingForPositiveGamma) {
+  const std::vector<double> zero(4, 0.0);
+  const PruningRegion region(zero, 0.3);
+  const std::vector<double> x = {1, 1, 1, 1};
+  EXPECT_TRUE(region.PrunesVector(x));
+  EXPECT_TRUE(region.PrunesVectorMirror(x));
+}
+
+TEST(PruningRegionTest, Case1AndCase2BothArise) {
+  // ||w||^2 >= gamma: case 1.
+  const std::vector<double> big = {1.0, 1.0};
+  EXPECT_TRUE(PruningRegion(big, 0.5).is_case1());
+  // ||w||^2 < gamma: case 2.
+  const std::vector<double> small = {0.1, 0.1};
+  EXPECT_FALSE(PruningRegion(small, 0.5).is_case1());
+}
+
+TEST(PruningRegionTest, MirrorPointMatchesFormula) {
+  const std::vector<double> w = {0.6, 0.8};  // ||w||^2 = 1.0
+  const PruningRegion region(w, 0.3);
+  // B' = B * (2*0.3 - 1.0) / 1.0 = -0.4 * B.
+  EXPECT_NEAR(region.b_prime()[0], -0.24, 1e-12);
+  EXPECT_NEAR(region.b_prime()[1], -0.32, 1e-12);
+}
+
+TEST(DotTest, BasicDotProduct) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {4, 5, 6};
+  EXPECT_EQ(Dot(a, b), 32.0);
+}
+
+}  // namespace
+}  // namespace gpssn

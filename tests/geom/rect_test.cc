@@ -1,0 +1,133 @@
+// Unit and property tests for MBR geometry.
+
+#include "geom/rect.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gpssn {
+namespace {
+
+Rect RandomRect(Rng* rng) {
+  const double x = rng->UniformDouble(0, 90);
+  const double y = rng->UniformDouble(0, 90);
+  return Rect{x, y, x + rng->UniformDouble(0, 10), y + rng->UniformDouble(0, 10)};
+}
+
+TEST(RectTest, EmptyRect) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.Area(), 0.0);
+  EXPECT_EQ(r.Margin(), 0.0);
+  r.ExtendPoint({3, 4});
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.Area(), 0.0);  // Degenerate point rect.
+  EXPECT_TRUE(r.ContainsPoint({3, 4}));
+}
+
+TEST(RectTest, ExtendRectAbsorbs) {
+  Rect a = Rect::FromPoint({0, 0});
+  a.ExtendRect(Rect{2, 3, 5, 7});
+  EXPECT_EQ(a.min_x, 0);
+  EXPECT_EQ(a.max_x, 5);
+  EXPECT_EQ(a.max_y, 7);
+  // Extending with an empty rect is a no-op.
+  Rect before = a;
+  a.ExtendRect(Rect{});
+  EXPECT_TRUE(a == before);
+}
+
+TEST(RectTest, ContainsAndIntersects) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.ContainsPoint({0, 0}));
+  EXPECT_TRUE(r.ContainsPoint({10, 10}));
+  EXPECT_FALSE(r.ContainsPoint({10.01, 5}));
+  EXPECT_TRUE(r.ContainsRect(Rect{1, 1, 9, 9}));
+  EXPECT_FALSE(r.ContainsRect(Rect{1, 1, 11, 9}));
+  EXPECT_TRUE(r.Intersects(Rect{9, 9, 12, 12}));
+  EXPECT_TRUE(r.Intersects(Rect{10, 10, 12, 12}));  // Touching counts.
+  EXPECT_FALSE(r.Intersects(Rect{10.5, 0, 12, 12}));
+}
+
+TEST(RectTest, AreaMarginOverlap) {
+  const Rect r{0, 0, 4, 3};
+  EXPECT_EQ(r.Area(), 12.0);
+  EXPECT_EQ(r.Margin(), 14.0);
+  EXPECT_EQ(r.OverlapArea(Rect{2, 1, 6, 5}), 4.0);
+  EXPECT_EQ(r.OverlapArea(Rect{4, 0, 6, 3}), 0.0);  // Touching edge.
+  EXPECT_EQ(r.Enlargement(Rect{0, 0, 8, 3}), 12.0);
+}
+
+TEST(RectTest, PointDistances) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_EQ(MinDist(Point{5, 5}, r), 0.0);
+  EXPECT_DOUBLE_EQ(MinDist(Point{13, 14}, r), 5.0);
+  EXPECT_DOUBLE_EQ(MaxDist(Point{0, 0}, r),
+                   std::sqrt(200.0));
+}
+
+TEST(RectTest, RectDistances) {
+  const Rect a{0, 0, 1, 1};
+  const Rect b{4, 4, 5, 5};
+  EXPECT_DOUBLE_EQ(MinDist(a, b), std::sqrt(18.0));
+  EXPECT_DOUBLE_EQ(MaxDist(a, b), std::sqrt(50.0));
+  EXPECT_EQ(MinDist(a, Rect{0.5, 0.5, 2, 2}), 0.0);
+}
+
+// Property: for random rects and points, MinDist <= dist(p, any corner)
+// and MaxDist >= dist(p, every corner).
+TEST(RectTest, MinMaxDistSandwichProperty) {
+  Rng rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Rect r = RandomRect(&rng);
+    const Point p{rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)};
+    const Point corners[4] = {{r.min_x, r.min_y},
+                              {r.min_x, r.max_y},
+                              {r.max_x, r.min_y},
+                              {r.max_x, r.max_y}};
+    for (const Point& c : corners) {
+      const double d = EuclideanDistance(p, c);
+      ASSERT_LE(MinDist(p, r), d + 1e-12);
+      ASSERT_GE(MaxDist(p, r), d - 1e-12);
+    }
+    // Sampled interior points obey the same sandwich.
+    for (int s = 0; s < 8; ++s) {
+      const Point q{rng.UniformDouble(r.min_x, r.max_x),
+                    rng.UniformDouble(r.min_y, r.max_y)};
+      const double d = EuclideanDistance(p, q);
+      ASSERT_LE(MinDist(p, r), d + 1e-12);
+      ASSERT_GE(MaxDist(p, r), d - 1e-12);
+    }
+  }
+}
+
+// Property: rect-rect MinDist/MaxDist bound distances of sampled members.
+TEST(RectTest, RectRectDistanceProperty) {
+  Rng rng(9);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Rect a = RandomRect(&rng);
+    const Rect b = RandomRect(&rng);
+    for (int s = 0; s < 8; ++s) {
+      const Point pa{rng.UniformDouble(a.min_x, a.max_x),
+                     rng.UniformDouble(a.min_y, a.max_y)};
+      const Point pb{rng.UniformDouble(b.min_x, b.max_x),
+                     rng.UniformDouble(b.min_y, b.max_y)};
+      const double d = EuclideanDistance(pa, pb);
+      ASSERT_LE(MinDist(a, b), d + 1e-12);
+      ASSERT_GE(MaxDist(a, b), d - 1e-12);
+    }
+  }
+}
+
+TEST(PointTest, LerpEndpointsAndMidpoint) {
+  const Point a{0, 0}, b{10, 20};
+  EXPECT_EQ(Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Lerp(a, b, 1.0), b);
+  const Point mid = Lerp(a, b, 0.5);
+  EXPECT_EQ(mid.x, 5);
+  EXPECT_EQ(mid.y, 10);
+}
+
+}  // namespace
+}  // namespace gpssn

@@ -1,0 +1,155 @@
+// Tests for dynamic POI insertion: after any sequence of inserts, the
+// incrementally maintained index must be equivalent to an index built from
+// scratch over the grown network, and queries must match the brute-force
+// oracle.
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/database.h"
+#include "index/poi_index.h"
+#include "ssn/dataset.h"
+
+namespace gpssn {
+namespace {
+
+SyntheticSsnOptions SmallData(uint64_t seed) {
+  SyntheticSsnOptions data;
+  data.num_road_vertices = 250;
+  data.num_pois = 80;
+  data.num_users = 150;
+  data.num_topics = 15;
+  data.space_size = 20.0;
+  data.seed = seed;
+  return data;
+}
+
+TEST(DynamicPoiTest, InsertRejectsBadArguments) {
+  SpatialSocialNetwork ssn = MakeSynthetic(SmallData(1));
+  EXPECT_TRUE(ssn.AddPoi({-1, 0.5}, {0}).status().IsInvalidArgument());
+  EXPECT_TRUE(ssn.AddPoi({0, 1.5}, {0}).status().IsInvalidArgument());
+  EXPECT_TRUE(ssn.AddPoi({0, 0.5}, {999}).status().IsInvalidArgument());
+  auto ok = ssn.AddPoi({0, 0.5}, {3, 1, 3});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 80);
+  // Keywords were deduplicated and sorted.
+  EXPECT_EQ(ssn.poi(*ok).keywords, (std::vector<KeywordId>{1, 3}));
+  EXPECT_TRUE(ssn.Validate().ok());
+}
+
+TEST(DynamicPoiTest, IncrementalIndexMatchesFreshRebuild) {
+  SpatialSocialNetwork ssn = MakeSynthetic(SmallData(2));
+  RoadPivotTable pivots(ssn.road(), RandomRoadPivots(ssn.road(), 3, 5));
+  PoiIndexOptions options;
+  options.r_min = 0.5;
+  options.r_max = 3.0;
+  PoiIndex incremental(&ssn, &pivots, options);
+
+  Rng rng(7);
+  for (int i = 0; i < 12; ++i) {
+    const EdgePosition pos{
+        static_cast<EdgeId>(rng.NextBounded(ssn.road().num_edges())),
+        rng.UniformDouble()};
+    std::vector<KeywordId> kws = {
+        static_cast<KeywordId>(rng.NextBounded(15)),
+        static_cast<KeywordId>(rng.NextBounded(15))};
+    auto id = ssn.AddPoi(pos, std::move(kws));
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(incremental.InsertPoi(*id).ok());
+  }
+
+  // A from-scratch index over the grown network must agree on every
+  // deterministic augmentation (samples are random and excluded).
+  PoiIndex fresh(&ssn, &pivots, options);
+  ASSERT_EQ(ssn.num_pois(), 92);
+  for (PoiId id = 0; id < ssn.num_pois(); ++id) {
+    const PoiAug& a = incremental.poi_aug(id);
+    const PoiAug& b = fresh.poi_aug(id);
+    EXPECT_EQ(a.sup_keywords, b.sup_keywords) << "poi " << id;
+    EXPECT_EQ(a.sub_keywords, b.sub_keywords) << "poi " << id;
+    ASSERT_EQ(a.pivot_dist.size(), b.pivot_dist.size());
+    for (size_t k = 0; k < a.pivot_dist.size(); ++k) {
+      EXPECT_NEAR(a.pivot_dist[k], b.pivot_dist[k], 1e-9);
+    }
+    // The incremental bit vector may carry extra bits from superseded
+    // states, but must cover the exact sup set.
+    for (KeywordId kw : b.sup_keywords) {
+      EXPECT_TRUE(a.v_sup.MayContain(kw));
+    }
+  }
+  EXPECT_TRUE(incremental.tree().CheckInvariants());
+  EXPECT_EQ(incremental.tree().size(), ssn.num_pois());
+  EXPECT_EQ(incremental.node_aug(incremental.tree().root()).subtree_pois,
+            ssn.num_pois());
+}
+
+TEST(DynamicPoiTest, InsertPoiRejectsWrongId) {
+  SpatialSocialNetwork ssn = MakeSynthetic(SmallData(3));
+  RoadPivotTable pivots(ssn.road(), RandomRoadPivots(ssn.road(), 2, 5));
+  PoiIndexOptions options;
+  PoiIndex index(&ssn, &pivots, options);
+  EXPECT_TRUE(index.InsertPoi(5).IsInvalidArgument());     // Already present.
+  EXPECT_TRUE(index.InsertPoi(80).IsInvalidArgument());    // Not in network.
+}
+
+TEST(DynamicPoiTest, DatabaseQueriesStayExactAfterInserts) {
+  GpssnBuildOptions build;
+  build.num_road_pivots = 3;
+  build.num_social_pivots = 3;
+  build.social_index.leaf_cell_size = 16;
+  GpssnDatabase db(MakeSynthetic(SmallData(4)), build);
+
+  GpssnQuery q;
+  q.issuer = 11;
+  q.tau = 3;
+  q.gamma = 0.25;
+  q.theta = 0.25;
+  q.radius = 2.0;
+
+  Rng rng(9);
+  for (int round = 0; round < 4; ++round) {
+    // Open a couple of new facilities.
+    for (int i = 0; i < 3; ++i) {
+      const EdgePosition pos{
+          static_cast<EdgeId>(rng.NextBounded(db.ssn().road().num_edges())),
+          rng.UniformDouble()};
+      auto id = db.AddPoi(pos, {static_cast<KeywordId>(rng.NextBounded(15))});
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+    }
+    auto got = db.Query(q);
+    ASSERT_TRUE(got.ok());
+    const GpssnAnswer oracle = BruteForceGpssn(db.ssn(), q);
+    ASSERT_EQ(got->found, oracle.found) << "round " << round;
+    if (oracle.found) {
+      EXPECT_NEAR(got->max_dist, oracle.max_dist, 1e-9) << "round " << round;
+    }
+  }
+}
+
+TEST(DynamicPoiTest, NewPoiCanBecomeTheAnswer) {
+  GpssnBuildOptions build;
+  build.num_road_pivots = 2;
+  build.num_social_pivots = 2;
+  build.social_index.leaf_cell_size = 16;
+  GpssnDatabase db(MakeSynthetic(SmallData(5)), build);
+  GpssnQuery q;
+  q.issuer = 7;
+  q.tau = 1;  // Only the issuer: the answer is their best-matching ball.
+  q.gamma = 0.0;
+  q.theta = 0.0;
+  q.radius = 1.0;
+  auto before = db.Query(q);
+  ASSERT_TRUE(before.ok());
+  // Open a facility right on the issuer's home edge.
+  const EdgePosition home = db.ssn().user_home(q.issuer);
+  auto id = db.AddPoi(home, {0});
+  ASSERT_TRUE(id.ok());
+  auto after = db.Query(q);
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->found);
+  EXPECT_LE(after->max_dist, before->found ? before->max_dist : kInfDistance);
+  EXPECT_NEAR(after->max_dist, 0.0, 1e-6);  // The new POI sits at home.
+}
+
+}  // namespace
+}  // namespace gpssn

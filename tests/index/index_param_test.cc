@@ -1,0 +1,84 @@
+// Parameterized configuration sweeps over both indexes: structural
+// invariants and query exactness must hold for every fanout / cell size /
+// radius-envelope combination, not just the defaults.
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/database.h"
+#include "ssn/dataset.h"
+
+namespace gpssn {
+namespace {
+
+struct IndexConfig {
+  int rtree_max_entries;
+  double r_min, r_max;
+  int leaf_cell_size;
+  int fanout;
+  int pivots;
+};
+
+class IndexParamTest : public ::testing::TestWithParam<IndexConfig> {};
+
+TEST_P(IndexParamTest, InvariantsAndExactAnswers) {
+  const IndexConfig config = GetParam();
+  SyntheticSsnOptions data;
+  data.num_road_vertices = 250;
+  data.num_pois = 120;
+  data.num_users = 220;
+  data.num_topics = 15;
+  data.space_size = 20.0;
+  data.seed = 97;
+  GpssnBuildOptions build;
+  build.num_road_pivots = config.pivots;
+  build.num_social_pivots = config.pivots;
+  build.poi_index.rtree.max_entries = config.rtree_max_entries;
+  build.poi_index.r_min = config.r_min;
+  build.poi_index.r_max = config.r_max;
+  build.social_index.leaf_cell_size = config.leaf_cell_size;
+  build.social_index.fanout = config.fanout;
+  GpssnDatabase db(MakeSynthetic(data), build);
+
+  // Structural invariants.
+  EXPECT_TRUE(db.poi_index().tree().CheckInvariants());
+  EXPECT_EQ(db.poi_index().node_aug(db.poi_index().tree().root()).subtree_pois,
+            db.ssn().num_pois());
+  EXPECT_EQ(db.social_index().node(db.social_index().root()).subtree_users,
+            db.ssn().num_users());
+  for (SNodeId id = 0; id < db.social_index().num_nodes(); ++id) {
+    EXPECT_LE(
+        static_cast<int>(db.social_index().node(id).children.size()),
+        config.fanout);
+  }
+
+  // Exactness across the radius envelope.
+  for (double radius : {config.r_min, (config.r_min + config.r_max) / 2,
+                        config.r_max}) {
+    GpssnQuery q;
+    q.issuer = 31 % db.ssn().num_users();
+    q.tau = 3;
+    q.gamma = 0.25;
+    q.theta = 0.25;
+    q.radius = radius;
+    auto got = db.Query(q);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const GpssnAnswer oracle = BruteForceGpssn(db.ssn(), q);
+    ASSERT_EQ(got->found, oracle.found) << "radius " << radius;
+    if (oracle.found) {
+      EXPECT_NEAR(got->max_dist, oracle.max_dist, 1e-9) << "radius " << radius;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, IndexParamTest,
+    ::testing::Values(IndexConfig{8, 0.5, 2.0, 8, 2, 1},
+                      IndexConfig{16, 0.25, 4.0, 16, 4, 3},
+                      IndexConfig{32, 0.5, 4.0, 32, 8, 5},
+                      IndexConfig{64, 1.0, 6.0, 64, 16, 7},
+                      IndexConfig{8, 0.1, 8.0, 100, 3, 2},
+                      IndexConfig{48, 2.0, 2.0, 12, 5, 10}));
+
+}  // namespace
+}  // namespace gpssn

@@ -1,0 +1,188 @@
+// Property tests: A* and bidirectional Dijkstra must agree exactly with
+// the plain Dijkstra engine on random road networks.
+
+#include "roadnet/astar.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "roadnet/road_generator.h"
+
+namespace gpssn {
+namespace {
+
+class AStarPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AStarPropertyTest, VertexToVertexMatchesDijkstra) {
+  RoadGenOptions gen;
+  gen.num_vertices = 600;
+  gen.seed = GetParam();
+  const RoadNetwork g = GenerateRoadNetwork(gen);
+  AStarEngine astar(&g);
+  BidirectionalDijkstra bidi(&g);
+  DijkstraEngine dijkstra(&g);
+  Rng rng(GetParam() + 9);
+  for (int trial = 0; trial < 60; ++trial) {
+    const VertexId a = rng.NextBounded(g.num_vertices());
+    const VertexId b = rng.NextBounded(g.num_vertices());
+    const double want = dijkstra.VertexToVertex(a, b);
+    const double got_astar = astar.VertexToVertex(a, b);
+    const double got_bidi = bidi.VertexToVertex(a, b);
+    if (std::isfinite(want)) {
+      ASSERT_NEAR(got_astar, want, 1e-9) << a << "->" << b;
+      ASSERT_NEAR(got_bidi, want, 1e-9) << a << "->" << b;
+    } else {
+      ASSERT_EQ(got_astar, kInfDistance);
+      ASSERT_EQ(got_bidi, kInfDistance);
+    }
+  }
+}
+
+TEST_P(AStarPropertyTest, PositionToPositionMatchesDijkstra) {
+  RoadGenOptions gen;
+  gen.num_vertices = 400;
+  gen.seed = GetParam() ^ 0x77;
+  const RoadNetwork g = GenerateRoadNetwork(gen);
+  AStarEngine astar(&g);
+  DijkstraEngine dijkstra(&g);
+  Rng rng(GetParam() + 21);
+  for (int trial = 0; trial < 40; ++trial) {
+    const EdgePosition a{static_cast<EdgeId>(rng.NextBounded(g.num_edges())),
+                         rng.UniformDouble()};
+    const EdgePosition b{static_cast<EdgeId>(rng.NextBounded(g.num_edges())),
+                         rng.UniformDouble()};
+    const double want = dijkstra.PositionToPosition(a, b);
+    const double got = astar.PositionToPosition(a, b);
+    if (std::isfinite(want)) {
+      ASSERT_NEAR(got, want, 1e-9);
+    } else {
+      ASSERT_EQ(got, kInfDistance);
+    }
+  }
+}
+
+TEST_P(AStarPropertyTest, RoutePathIsConsistent) {
+  RoadGenOptions gen;
+  gen.num_vertices = 300;
+  gen.seed = GetParam() ^ 0xff;
+  const RoadNetwork g = GenerateRoadNetwork(gen);
+  AStarEngine astar(&g);
+  Rng rng(GetParam() + 3);
+  for (int trial = 0; trial < 25; ++trial) {
+    const VertexId a = rng.NextBounded(g.num_vertices());
+    const VertexId b = rng.NextBounded(g.num_vertices());
+    const RouteResult route = astar.Route(a, b);
+    if (!route.reachable()) continue;
+    ASSERT_FALSE(route.path.empty());
+    ASSERT_EQ(route.path.front(), a);
+    ASSERT_EQ(route.path.back(), b);
+    // The path's edge weights must sum to the reported distance, and each
+    // consecutive pair must be adjacent.
+    double total = 0;
+    for (size_t i = 0; i + 1 < route.path.size(); ++i) {
+      bool adjacent = false;
+      for (const RoadArc& arc : g.Neighbors(route.path[i])) {
+        if (arc.to == route.path[i + 1]) {
+          adjacent = true;
+          total += arc.weight;
+          break;
+        }
+      }
+      ASSERT_TRUE(adjacent) << "non-adjacent hop in path";
+    }
+    ASSERT_NEAR(total, route.distance, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AStarPropertyTest,
+                         ::testing::Values(1, 2, 5, 13));
+
+TEST(AStarTest, GoalDirectednessSettlesFewerVertices) {
+  RoadGenOptions gen;
+  gen.num_vertices = 5000;
+  gen.seed = 31;
+  const RoadNetwork g = GenerateRoadNetwork(gen);
+  AStarEngine astar(&g);
+  DijkstraEngine dijkstra(&g);
+  Rng rng(7);
+  size_t astar_settled = 0, dijkstra_settled = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const VertexId a = rng.NextBounded(g.num_vertices());
+    const VertexId b = rng.NextBounded(g.num_vertices());
+    astar.VertexToVertex(a, b);
+    astar_settled += astar.last_settled();
+    dijkstra.RunWithTargets({{a, 0.0}}, kInfDistance, {b});
+    dijkstra_settled += dijkstra.Settled().size();
+  }
+  EXPECT_LT(astar_settled, dijkstra_settled)
+      << "the Euclidean heuristic should focus the search";
+}
+
+TEST(AStarTest, SameVertexIsZero) {
+  RoadGenOptions gen;
+  gen.num_vertices = 50;
+  gen.seed = 33;
+  const RoadNetwork g = GenerateRoadNetwork(gen);
+  AStarEngine astar(&g);
+  BidirectionalDijkstra bidi(&g);
+  EXPECT_EQ(astar.VertexToVertex(7, 7), 0.0);
+  EXPECT_EQ(bidi.VertexToVertex(7, 7), 0.0);
+  const RouteResult route = astar.Route(7, 7);
+  EXPECT_EQ(route.distance, 0.0);
+  EXPECT_EQ(route.path, std::vector<VertexId>{7});
+}
+
+TEST(AStarTest, InadmissibleWeightsFallBackAndStayExact) {
+  // Edge weights below the Euclidean lengths: the heuristic must switch
+  // off and results must still match Dijkstra.
+  Rng rng(3);
+  RoadNetworkBuilder b;
+  for (int i = 0; i < 60; ++i) {
+    b.AddVertex({rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)});
+  }
+  for (int i = 0; i < 60; ++i) {
+    for (int j = i + 1; j < 60; ++j) {
+      if (rng.UniformDouble() < 0.08) {
+        ASSERT_TRUE(b.AddEdge(i, j, rng.UniformDouble(0.01, 0.5)).ok());
+      }
+    }
+  }
+  const RoadNetwork g = b.Build();
+  AStarEngine astar(&g);
+  EXPECT_FALSE(astar.heuristic_enabled());
+  DijkstraEngine dijkstra(&g);
+  for (int trial = 0; trial < 40; ++trial) {
+    const VertexId x = rng.NextBounded(g.num_vertices());
+    const VertexId y = rng.NextBounded(g.num_vertices());
+    const double want = dijkstra.VertexToVertex(x, y);
+    const double got = astar.VertexToVertex(x, y);
+    if (std::isfinite(want)) {
+      ASSERT_NEAR(got, want, 1e-9);
+    } else {
+      ASSERT_EQ(got, kInfDistance);
+    }
+  }
+}
+
+TEST(BidirectionalTest, SettlesFewerThanUnidirectional) {
+  RoadGenOptions gen;
+  gen.num_vertices = 5000;
+  gen.seed = 35;
+  const RoadNetwork g = GenerateRoadNetwork(gen);
+  BidirectionalDijkstra bidi(&g);
+  DijkstraEngine dijkstra(&g);
+  Rng rng(11);
+  size_t bidi_settled = 0, uni_settled = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const VertexId a = rng.NextBounded(g.num_vertices());
+    const VertexId b = rng.NextBounded(g.num_vertices());
+    bidi.VertexToVertex(a, b);
+    bidi_settled += bidi.last_settled();
+    dijkstra.RunWithTargets({{a, 0.0}}, kInfDistance, {b});
+    uni_settled += dijkstra.Settled().size();
+  }
+  EXPECT_LT(bidi_settled, uni_settled);
+}
+
+}  // namespace
+}  // namespace gpssn

@@ -1,0 +1,161 @@
+// Equivalence tests for the contraction-hierarchy distance oracle: every
+// query must match plain Dijkstra exactly, on random and generated graphs.
+
+#include "roadnet/contraction_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "roadnet/road_generator.h"
+
+namespace gpssn {
+namespace {
+
+RoadNetwork RandomWeightedGraph(int n, double p, uint64_t seed) {
+  Rng rng(seed);
+  RoadNetworkBuilder b;
+  for (int i = 0; i < n; ++i) {
+    b.AddVertex({rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)});
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.UniformDouble() < p) {
+        EXPECT_TRUE(b.AddEdge(i, j, rng.UniformDouble(0.1, 3.0)).ok());
+      }
+    }
+  }
+  return b.Build();
+}
+
+class ChPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChPropertyTest, MatchesDijkstraOnRandomGraphs) {
+  const RoadNetwork g = RandomWeightedGraph(80, 0.06, GetParam());
+  ContractionHierarchy ch;
+  ch.Build(&g);
+  ChQuery query(&ch);
+  DijkstraEngine dijkstra(&g);
+  Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 150; ++trial) {
+    const VertexId a = rng.NextBounded(g.num_vertices());
+    const VertexId b = rng.NextBounded(g.num_vertices());
+    const double want = dijkstra.VertexToVertex(a, b);
+    const double got = query.VertexToVertex(a, b);
+    if (std::isfinite(want)) {
+      ASSERT_NEAR(got, want, 1e-9) << a << "->" << b;
+    } else {
+      ASSERT_EQ(got, kInfDistance) << a << "->" << b;
+    }
+  }
+}
+
+TEST_P(ChPropertyTest, MatchesDijkstraOnRoadLikeGraphs) {
+  RoadGenOptions gen;
+  gen.num_vertices = 700;
+  gen.seed = GetParam();
+  const RoadNetwork g = GenerateRoadNetwork(gen);
+  ContractionHierarchy ch;
+  ch.Build(&g);
+  ChQuery query(&ch);
+  DijkstraEngine dijkstra(&g);
+  Rng rng(GetParam() + 5);
+  for (int trial = 0; trial < 80; ++trial) {
+    const VertexId a = rng.NextBounded(g.num_vertices());
+    const VertexId b = rng.NextBounded(g.num_vertices());
+    ASSERT_NEAR(query.VertexToVertex(a, b), dijkstra.VertexToVertex(a, b),
+                1e-9);
+  }
+}
+
+TEST_P(ChPropertyTest, PositionQueriesMatch) {
+  RoadGenOptions gen;
+  gen.num_vertices = 300;
+  gen.seed = GetParam() ^ 0x33;
+  const RoadNetwork g = GenerateRoadNetwork(gen);
+  ContractionHierarchy ch;
+  ch.Build(&g);
+  ChQuery query(&ch);
+  DijkstraEngine dijkstra(&g);
+  Rng rng(GetParam() + 9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const EdgePosition a{static_cast<EdgeId>(rng.NextBounded(g.num_edges())),
+                         rng.UniformDouble()};
+    const EdgePosition b{static_cast<EdgeId>(rng.NextBounded(g.num_edges())),
+                         rng.UniformDouble()};
+    ASSERT_NEAR(query.PositionToPosition(a, b),
+                dijkstra.PositionToPosition(a, b), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChPropertyTest, ::testing::Values(1, 7, 21));
+
+TEST(ChTest, RanksAreAPermutation) {
+  RoadGenOptions gen;
+  gen.num_vertices = 200;
+  gen.seed = 3;
+  const RoadNetwork g = GenerateRoadNetwork(gen);
+  ContractionHierarchy ch;
+  ch.Build(&g);
+  std::vector<bool> seen(g.num_vertices(), false);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const int r = ch.rank(v);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, g.num_vertices());
+    ASSERT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+TEST(ChTest, UpwardArcsPointUp) {
+  RoadGenOptions gen;
+  gen.num_vertices = 200;
+  gen.seed = 4;
+  const RoadNetwork g = GenerateRoadNetwork(gen);
+  ContractionHierarchy ch;
+  ch.Build(&g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const auto& arc : ch.up(v)) {
+      EXPECT_GT(ch.rank(arc.to), ch.rank(v));
+    }
+  }
+}
+
+TEST(ChTest, QueriesSettleFarFewerVerticesThanDijkstra) {
+  RoadGenOptions gen;
+  gen.num_vertices = 4000;
+  gen.seed = 5;
+  const RoadNetwork g = GenerateRoadNetwork(gen);
+  ContractionHierarchy ch;
+  ch.Build(&g);
+  ChQuery query(&ch);
+  DijkstraEngine dijkstra(&g);
+  Rng rng(6);
+  size_t ch_settled = 0, dijkstra_settled = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    const VertexId a = rng.NextBounded(g.num_vertices());
+    const VertexId b = rng.NextBounded(g.num_vertices());
+    query.VertexToVertex(a, b);
+    ch_settled += query.last_settled();
+    dijkstra.RunWithTargets({{a, 0.0}}, kInfDistance, {b});
+    dijkstra_settled += dijkstra.Settled().size();
+  }
+  EXPECT_LT(ch_settled * 4, dijkstra_settled)
+      << "CH searches should touch a small fraction of the graph";
+}
+
+TEST(ChTest, DisconnectedComponents) {
+  RoadNetworkBuilder b;
+  for (int i = 0; i < 4; ++i) b.AddVertex({static_cast<double>(i), 0});
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 1.0).ok());
+  const RoadNetwork g = b.Build();
+  ContractionHierarchy ch;
+  ch.Build(&g);
+  ChQuery query(&ch);
+  EXPECT_EQ(query.VertexToVertex(0, 2), kInfDistance);
+  EXPECT_NEAR(query.VertexToVertex(0, 1), 1.0, 1e-12);
+  EXPECT_EQ(query.VertexToVertex(1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace gpssn

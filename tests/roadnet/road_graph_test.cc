@@ -1,0 +1,107 @@
+// Tests for the road-network graph structure and builder.
+
+#include "roadnet/road_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace gpssn {
+namespace {
+
+RoadNetwork MakeTriangle() {
+  RoadNetworkBuilder b;
+  b.AddVertex({0, 0});
+  b.AddVertex({3, 0});
+  b.AddVertex({0, 4});
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(2, 0).ok());
+  return b.Build();
+}
+
+TEST(RoadNetworkBuilderTest, RejectsBadEdges) {
+  RoadNetworkBuilder b;
+  b.AddVertex({0, 0});
+  b.AddVertex({1, 0});
+  EXPECT_TRUE(b.AddEdge(0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(b.AddEdge(0, 5).status().IsInvalidArgument());
+  EXPECT_TRUE(b.AddEdge(-1, 0).status().IsInvalidArgument());
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_EQ(b.AddEdge(0, 1).status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(b.AddEdge(1, 0).status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(RoadNetworkTest, EuclideanDefaultWeights) {
+  const RoadNetwork g = MakeTriangle();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0), 3.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1), 5.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(2), 4.0);
+}
+
+TEST(RoadNetworkTest, ExplicitWeightOverridesEuclidean) {
+  RoadNetworkBuilder b;
+  b.AddVertex({0, 0});
+  b.AddVertex({1, 0});
+  ASSERT_TRUE(b.AddEdge(0, 1, 9.5).ok());
+  const RoadNetwork g = b.Build();
+  EXPECT_DOUBLE_EQ(g.edge_weight(0), 9.5);
+}
+
+TEST(RoadNetworkTest, CsrAdjacencyIsSymmetric) {
+  const RoadNetwork g = MakeTriangle();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const RoadArc& arc : g.Neighbors(v)) {
+      bool back = false;
+      for (const RoadArc& rev : g.Neighbors(arc.to)) {
+        if (rev.to == v && rev.edge == arc.edge) back = true;
+      }
+      EXPECT_TRUE(back) << "arc " << v << "->" << arc.to;
+      EXPECT_DOUBLE_EQ(arc.weight, g.edge_weight(arc.edge));
+    }
+  }
+}
+
+TEST(RoadNetworkTest, DegreesAndAverage) {
+  const RoadNetwork g = MakeTriangle();
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0);
+}
+
+TEST(RoadNetworkTest, PositionPointInterpolates) {
+  const RoadNetwork g = MakeTriangle();
+  // Edge 0 runs (0,0)->(3,0).
+  const Point p = g.PositionPoint(EdgePosition{0, 0.5});
+  EXPECT_DOUBLE_EQ(p.x, 1.5);
+  EXPECT_DOUBLE_EQ(p.y, 0.0);
+}
+
+TEST(RoadNetworkTest, OffsetToEitherEndpoint) {
+  const RoadNetwork g = MakeTriangle();
+  const EdgePosition pos{0, 0.25};
+  EXPECT_DOUBLE_EQ(g.OffsetTo(pos, g.edge_u(0)), 0.75);
+  EXPECT_DOUBLE_EQ(g.OffsetTo(pos, g.edge_v(0)), 2.25);
+}
+
+TEST(RoadNetworkTest, BoundingBox) {
+  const RoadNetwork g = MakeTriangle();
+  Point lo, hi;
+  g.BoundingBox(&lo, &hi);
+  EXPECT_EQ(lo.x, 0);
+  EXPECT_EQ(lo.y, 0);
+  EXPECT_EQ(hi.x, 3);
+  EXPECT_EQ(hi.y, 4);
+}
+
+TEST(RoadNetworkBuilderTest, BuildResetsBuilder) {
+  RoadNetworkBuilder b;
+  b.AddVertex({0, 0});
+  b.AddVertex({1, 1});
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  (void)b.Build();
+  EXPECT_EQ(b.num_vertices(), 0);
+  EXPECT_EQ(b.num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace gpssn

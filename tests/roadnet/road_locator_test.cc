@@ -1,0 +1,85 @@
+// Tests for grid-accelerated nearest-vertex / nearest-edge lookup.
+
+#include "roadnet/road_locator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "roadnet/road_generator.h"
+
+namespace gpssn {
+namespace {
+
+TEST(PointSegmentDistanceTest, ProjectionCases) {
+  double t = -1;
+  // Perpendicular foot inside the segment.
+  EXPECT_DOUBLE_EQ(
+      PointSegmentDistanceSq(Point{1, 1}, Point{0, 0}, Point{2, 0}, &t), 1.0);
+  EXPECT_DOUBLE_EQ(t, 0.5);
+  // Clamped to endpoint a.
+  EXPECT_DOUBLE_EQ(
+      PointSegmentDistanceSq(Point{-3, 4}, Point{0, 0}, Point{2, 0}, &t), 25.0);
+  EXPECT_DOUBLE_EQ(t, 0.0);
+  // Degenerate zero-length segment.
+  EXPECT_DOUBLE_EQ(
+      PointSegmentDistanceSq(Point{3, 4}, Point{0, 0}, Point{0, 0}, &t), 25.0);
+  EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(RoadLocatorTest, NearestVertexMatchesBruteForce) {
+  RoadGenOptions options;
+  options.num_vertices = 600;
+  options.seed = 21;
+  const RoadNetwork g = GenerateRoadNetwork(options);
+  const RoadLocator locator(&g);
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point p{rng.UniformDouble(-5, 105), rng.UniformDouble(-5, 105)};
+    const VertexId got = locator.NearestVertex(p);
+    double best = SquaredDistance(p, g.vertex_point(got));
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_GE(SquaredDistance(p, g.vertex_point(v)) + 1e-12, best)
+          << "locator missed a closer vertex";
+    }
+  }
+}
+
+TEST(RoadLocatorTest, NearestEdgePositionIsValidAndClose) {
+  RoadGenOptions options;
+  options.num_vertices = 400;
+  options.seed = 22;
+  const RoadNetwork g = GenerateRoadNetwork(options);
+  const RoadLocator locator(&g);
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point p{rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)};
+    const EdgePosition pos = locator.NearestEdgePosition(p);
+    ASSERT_GE(pos.edge, 0);
+    ASSERT_LT(pos.edge, g.num_edges());
+    ASSERT_GE(pos.t, 0.0);
+    ASSERT_LE(pos.t, 1.0);
+    // The snapped point must be no farther than the nearest vertex (the
+    // nearest edge position dominates snapping to vertices).
+    const Point snapped = g.PositionPoint(pos);
+    const VertexId nv = locator.NearestVertex(p);
+    EXPECT_LE(SquaredDistance(p, snapped),
+              SquaredDistance(p, g.vertex_point(nv)) + 1e-9);
+  }
+}
+
+TEST(RoadLocatorTest, PointOnEdgeSnapsToIt) {
+  RoadNetworkBuilder b;
+  b.AddVertex({0, 0});
+  b.AddVertex({10, 0});
+  b.AddVertex({0, 10});
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2).ok());
+  const RoadNetwork g = b.Build();
+  const RoadLocator locator(&g);
+  const EdgePosition pos = locator.NearestEdgePosition(Point{4, 0});
+  EXPECT_EQ(pos.edge, 0);
+  EXPECT_NEAR(pos.t, 0.4, 1e-12);
+}
+
+}  // namespace
+}  // namespace gpssn

@@ -1,0 +1,225 @@
+// Property tests for the Dijkstra engine and POI ball queries against
+// brute-force references (Floyd–Warshall on random small graphs).
+
+#include "roadnet/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "roadnet/road_graph.h"
+
+namespace gpssn {
+namespace {
+
+struct TestGraph {
+  RoadNetwork g;
+  std::vector<std::vector<double>> apsp;  // Vertex all-pairs distances.
+};
+
+TestGraph RandomGraph(int n, double edge_prob, uint64_t seed) {
+  Rng rng(seed);
+  RoadNetworkBuilder b;
+  for (int i = 0; i < n; ++i) {
+    b.AddVertex({rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)});
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.UniformDouble() < edge_prob) {
+        EXPECT_TRUE(b.AddEdge(i, j, rng.UniformDouble(0.1, 5.0)).ok());
+      }
+    }
+  }
+  TestGraph out{b.Build(), {}};
+  // Floyd–Warshall.
+  auto& d = out.apsp;
+  d.assign(n, std::vector<double>(n, kInfDistance));
+  for (int i = 0; i < n; ++i) d[i][i] = 0;
+  for (EdgeId e = 0; e < out.g.num_edges(); ++e) {
+    const int u = out.g.edge_u(e), v = out.g.edge_v(e);
+    d[u][v] = std::min(d[u][v], out.g.edge_weight(e));
+    d[v][u] = d[u][v];
+  }
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+      }
+    }
+  }
+  return out;
+}
+
+class DijkstraPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DijkstraPropertyTest, SingleSourceMatchesFloydWarshall) {
+  const TestGraph t = RandomGraph(25, 0.15, GetParam());
+  DijkstraEngine engine(&t.g);
+  for (VertexId s = 0; s < t.g.num_vertices(); ++s) {
+    engine.RunFromVertex(s);
+    for (VertexId v = 0; v < t.g.num_vertices(); ++v) {
+      if (std::isfinite(t.apsp[s][v])) {
+        ASSERT_NEAR(engine.Distance(v), t.apsp[s][v], 1e-9);
+      } else {
+        ASSERT_EQ(engine.Distance(v), kInfDistance);
+      }
+    }
+  }
+}
+
+TEST_P(DijkstraPropertyTest, BoundedRunSettlesExactlyWithinBound) {
+  const TestGraph t = RandomGraph(25, 0.15, GetParam() ^ 0xbeef);
+  DijkstraEngine engine(&t.g);
+  const double bound = 4.0;
+  for (VertexId s = 0; s < t.g.num_vertices(); s += 3) {
+    engine.RunFromVertex(s, bound);
+    for (VertexId v = 0; v < t.g.num_vertices(); ++v) {
+      const double truth = t.apsp[s][v];
+      if (truth <= bound) {
+        ASSERT_NEAR(engine.Distance(v), truth, 1e-9);
+      } else {
+        ASSERT_EQ(engine.Distance(v), kInfDistance);
+      }
+    }
+  }
+}
+
+TEST_P(DijkstraPropertyTest, VertexToVertexWithEarlyExit) {
+  const TestGraph t = RandomGraph(20, 0.2, GetParam() ^ 0xf00d);
+  DijkstraEngine engine(&t.g);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const VertexId a = rng.NextBounded(t.g.num_vertices());
+    const VertexId b = rng.NextBounded(t.g.num_vertices());
+    const double got = engine.VertexToVertex(a, b);
+    if (std::isfinite(t.apsp[a][b])) {
+      ASSERT_NEAR(got, t.apsp[a][b], 1e-9);
+    } else {
+      ASSERT_EQ(got, kInfDistance);
+    }
+  }
+}
+
+TEST_P(DijkstraPropertyTest, PositionToPositionSymmetricAndConsistent) {
+  const TestGraph t = RandomGraph(20, 0.25, GetParam() ^ 0xcafe);
+  if (t.g.num_edges() < 2) GTEST_SKIP();
+  DijkstraEngine engine(&t.g);
+  Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 60; ++trial) {
+    const EdgePosition a{static_cast<EdgeId>(rng.NextBounded(t.g.num_edges())),
+                         rng.UniformDouble()};
+    const EdgePosition b{static_cast<EdgeId>(rng.NextBounded(t.g.num_edges())),
+                         rng.UniformDouble()};
+    const double ab = engine.PositionToPosition(a, b);
+    const double ba = engine.PositionToPosition(b, a);
+    if (std::isfinite(ab)) {
+      ASSERT_NEAR(ab, ba, 1e-9);
+    } else {
+      ASSERT_EQ(ba, kInfDistance);
+    }
+    // Reference: min over endpoint combinations plus the same-edge path.
+    double want = SameEdgeDistance(t.g, a, b);
+    for (VertexId ea : {t.g.edge_u(a.edge), t.g.edge_v(a.edge)}) {
+      for (VertexId eb : {t.g.edge_u(b.edge), t.g.edge_v(b.edge)}) {
+        want = std::min(want, t.g.OffsetTo(a, ea) + t.apsp[ea][eb] +
+                                  t.g.OffsetTo(b, eb));
+      }
+    }
+    if (std::isfinite(want)) {
+      ASSERT_NEAR(ab, want, 1e-9);
+    } else {
+      ASSERT_EQ(ab, kInfDistance);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 11));
+
+TEST(DijkstraTest, SameEdgeShortcutBeatsDetour) {
+  // Two vertices joined by a single very long edge: positions on it must
+  // use the direct along-edge distance.
+  RoadNetworkBuilder b;
+  b.AddVertex({0, 0});
+  b.AddVertex({100, 0});
+  ASSERT_TRUE(b.AddEdge(0, 1, 100.0).ok());
+  const RoadNetwork g = b.Build();
+  DijkstraEngine engine(&g);
+  const double d =
+      engine.PositionToPosition(EdgePosition{0, 0.4}, EdgePosition{0, 0.6});
+  EXPECT_NEAR(d, 20.0, 1e-12);
+}
+
+TEST(DijkstraTest, MultiSeedRun) {
+  RoadNetworkBuilder b;
+  for (int i = 0; i < 4; ++i) b.AddVertex({static_cast<double>(i), 0});
+  ASSERT_TRUE(b.AddEdge(0, 1, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 1).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 1).ok());
+  const RoadNetwork g = b.Build();
+  DijkstraEngine engine(&g);
+  engine.Run({{0, 0.0}, {3, 0.5}});
+  EXPECT_NEAR(engine.Distance(2), 1.5, 1e-12);  // Via the seeded vertex 3.
+  EXPECT_NEAR(engine.Distance(1), 1.0, 1e-12);
+}
+
+TEST(PoiLocatorTest, BallMatchesBruteForce) {
+  const TestGraph t = RandomGraph(30, 0.15, 99);
+  if (t.g.num_edges() < 3) GTEST_SKIP();
+  Rng rng(5);
+  std::vector<Poi> pois;
+  for (int i = 0; i < 40; ++i) {
+    Poi poi;
+    poi.id = i;
+    poi.position = EdgePosition{
+        static_cast<EdgeId>(rng.NextBounded(t.g.num_edges())),
+        rng.UniformDouble()};
+    poi.location = t.g.PositionPoint(poi.position);
+    pois.push_back(poi);
+  }
+  PoiLocator locator(&t.g, &pois);
+  DijkstraEngine engine(&t.g);
+  DijkstraEngine reference_engine(&t.g);
+  for (int trial = 0; trial < 30; ++trial) {
+    const EdgePosition center{
+        static_cast<EdgeId>(rng.NextBounded(t.g.num_edges())),
+        rng.UniformDouble()};
+    const double radius = rng.UniformDouble(0.2, 6.0);
+    auto got = locator.Ball(center, radius, &engine);
+    std::sort(got.begin(), got.end());
+    std::vector<PoiId> want;
+    for (const Poi& poi : pois) {
+      const double d =
+          reference_engine.PositionToPosition(center, poi.position);
+      if (d <= radius) want.push_back(poi.id);
+    }
+    ASSERT_EQ(got, want) << "radius " << radius;
+  }
+}
+
+TEST(PoiLocatorTest, BallDistancesAreExact) {
+  const TestGraph t = RandomGraph(25, 0.2, 123);
+  if (t.g.num_edges() < 3) GTEST_SKIP();
+  Rng rng(6);
+  std::vector<Poi> pois;
+  for (int i = 0; i < 25; ++i) {
+    Poi poi;
+    poi.id = i;
+    poi.position = EdgePosition{
+        static_cast<EdgeId>(rng.NextBounded(t.g.num_edges())),
+        rng.UniformDouble()};
+    poi.location = t.g.PositionPoint(poi.position);
+    pois.push_back(poi);
+  }
+  PoiLocator locator(&t.g, &pois);
+  DijkstraEngine engine(&t.g);
+  DijkstraEngine reference_engine(&t.g);
+  const EdgePosition center{0, 0.3};
+  for (const auto& [id, dist] : locator.BallWithDistances(center, 5.0, &engine)) {
+    const double want =
+        reference_engine.PositionToPosition(center, pois[id].position);
+    ASSERT_NEAR(dist, want, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace gpssn

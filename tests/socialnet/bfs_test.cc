@@ -1,0 +1,116 @@
+// Tests for hop-distance BFS against brute-force references.
+
+#include "socialnet/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gpssn {
+namespace {
+
+SocialNetwork RandomSocial(int n, double p, uint64_t seed) {
+  Rng rng(seed);
+  SocialNetworkBuilder b(1);
+  const std::vector<double> w = {0.5};
+  for (int i = 0; i < n; ++i) EXPECT_TRUE(b.AddUser(w).ok());
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.UniformDouble() < p) {
+        EXPECT_TRUE(b.AddFriendship(i, j).ok());
+      }
+    }
+  }
+  return b.Build();
+}
+
+std::vector<int> BruteHops(const SocialNetwork& g, UserId s) {
+  std::vector<int> hops(g.num_users(), kUnreachableHops);
+  std::vector<UserId> queue = {s};
+  hops[s] = 0;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    for (UserId v : g.Friends(queue[head])) {
+      if (hops[v] == kUnreachableHops) {
+        hops[v] = hops[queue[head]] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return hops;
+}
+
+class BfsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BfsPropertyTest, MatchesBruteForce) {
+  const SocialNetwork g = RandomSocial(40, 0.08, GetParam());
+  BfsEngine engine(&g);
+  for (UserId s = 0; s < g.num_users(); s += 3) {
+    engine.Run(s);
+    const auto want = BruteHops(g, s);
+    for (UserId v = 0; v < g.num_users(); ++v) {
+      ASSERT_EQ(engine.Hops(v), want[v]) << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+TEST_P(BfsPropertyTest, BoundedRunIsExactWithinBound) {
+  const SocialNetwork g = RandomSocial(40, 0.06, GetParam() ^ 0x55);
+  BfsEngine engine(&g);
+  const int max_hops = 2;
+  for (UserId s = 0; s < g.num_users(); s += 5) {
+    engine.Run(s, max_hops);
+    const auto want = BruteHops(g, s);
+    for (UserId v = 0; v < g.num_users(); ++v) {
+      if (want[v] <= max_hops) {
+        ASSERT_EQ(engine.Hops(v), want[v]);
+      } else {
+        ASSERT_EQ(engine.Hops(v), kUnreachableHops);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsPropertyTest, ::testing::Values(1, 5, 9));
+
+TEST(BfsTest, VisitedInBfsOrder) {
+  SocialNetworkBuilder b(1);
+  const std::vector<double> w = {0.5};
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(b.AddUser(w).ok());
+  ASSERT_TRUE(b.AddFriendship(0, 1).ok());
+  ASSERT_TRUE(b.AddFriendship(1, 2).ok());
+  ASSERT_TRUE(b.AddFriendship(2, 3).ok());
+  const SocialNetwork g = b.Build();
+  BfsEngine engine(&g);
+  engine.Run(0);
+  const std::vector<UserId> want = {0, 1, 2, 3};
+  EXPECT_EQ(engine.Visited(), want);
+}
+
+TEST(BfsTest, DistanceEarlyExit) {
+  SocialNetworkBuilder b(1);
+  const std::vector<double> w = {0.5};
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(b.AddUser(w).ok());
+  for (int i = 0; i + 1 < 6; ++i) ASSERT_TRUE(b.AddFriendship(i, i + 1).ok());
+  const SocialNetwork g = b.Build();
+  BfsEngine engine(&g);
+  EXPECT_EQ(engine.Distance(0, 0), 0);
+  EXPECT_EQ(engine.Distance(0, 5), 5);
+  EXPECT_EQ(engine.Distance(0, 5, /*max_hops=*/3), kUnreachableHops);
+}
+
+TEST(BfsTest, DisconnectedComponentsUnreachable) {
+  SocialNetworkBuilder b(1);
+  const std::vector<double> w = {0.5};
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(b.AddUser(w).ok());
+  ASSERT_TRUE(b.AddFriendship(0, 1).ok());
+  ASSERT_TRUE(b.AddFriendship(2, 3).ok());
+  const SocialNetwork g = b.Build();
+  BfsEngine engine(&g);
+  engine.Run(0);
+  EXPECT_EQ(engine.Hops(2), kUnreachableHops);
+  EXPECT_EQ(engine.Hops(3), kUnreachableHops);
+  EXPECT_EQ(engine.Hops(1), 1);
+}
+
+}  // namespace
+}  // namespace gpssn

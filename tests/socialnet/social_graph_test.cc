@@ -1,0 +1,99 @@
+// Tests for the social-network graph structure and builder.
+
+#include "socialnet/social_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace gpssn {
+namespace {
+
+SocialNetwork MakePath(int n, int d = 2) {
+  SocialNetworkBuilder b(d);
+  std::vector<double> w(d, 0.5);
+  for (int i = 0; i < n; ++i) {
+    w[0] = static_cast<double>(i) / std::max(1, n - 1);
+    EXPECT_TRUE(b.AddUser(w).ok());
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    EXPECT_TRUE(b.AddFriendship(i, i + 1).ok());
+  }
+  return b.Build();
+}
+
+TEST(SocialNetworkBuilderTest, ValidatesInterestVectors) {
+  SocialNetworkBuilder b(3);
+  const std::vector<double> short_vec = {0.1, 0.2};
+  EXPECT_TRUE(b.AddUser(short_vec).status().IsInvalidArgument());
+  const std::vector<double> out_of_range = {0.1, 0.2, 1.5};
+  EXPECT_TRUE(b.AddUser(out_of_range).status().IsInvalidArgument());
+  const std::vector<double> ok = {0.0, 0.5, 1.0};
+  EXPECT_TRUE(b.AddUser(ok).ok());
+}
+
+TEST(SocialNetworkBuilderTest, RejectsBadFriendships) {
+  SocialNetworkBuilder b(1);
+  const std::vector<double> w = {0.5};
+  ASSERT_TRUE(b.AddUser(w).ok());
+  ASSERT_TRUE(b.AddUser(w).ok());
+  EXPECT_TRUE(b.AddFriendship(0, 0).IsInvalidArgument());
+  EXPECT_TRUE(b.AddFriendship(0, 9).IsInvalidArgument());
+  EXPECT_TRUE(b.AddFriendship(0, 1).ok());
+  EXPECT_EQ(b.AddFriendship(1, 0).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SocialNetworkTest, FriendsAreSortedAndSymmetric) {
+  SocialNetworkBuilder b(1);
+  const std::vector<double> w = {0.5};
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(b.AddUser(w).ok());
+  ASSERT_TRUE(b.AddFriendship(0, 3).ok());
+  ASSERT_TRUE(b.AddFriendship(0, 1).ok());
+  ASSERT_TRUE(b.AddFriendship(0, 4).ok());
+  const SocialNetwork g = b.Build();
+  const auto friends = g.Friends(0);
+  ASSERT_EQ(friends.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(friends.begin(), friends.end()));
+  EXPECT_TRUE(g.AreFriends(0, 3));
+  EXPECT_TRUE(g.AreFriends(3, 0));
+  EXPECT_FALSE(g.AreFriends(1, 2));
+}
+
+TEST(SocialNetworkTest, CountsAndDegrees) {
+  const SocialNetwork g = MakePath(5);
+  EXPECT_EQ(g.num_users(), 5);
+  EXPECT_EQ(g.num_friendships(), 4);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(2), 2);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 8.0 / 5.0);
+}
+
+TEST(SocialNetworkTest, InterestsRoundTrip) {
+  const SocialNetwork g = MakePath(4, 3);
+  for (UserId u = 0; u < 4; ++u) {
+    const auto w = g.Interests(u);
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_DOUBLE_EQ(w[1], 0.5);
+  }
+}
+
+TEST(SocialNetworkTest, WithInterestsReplacesVectors) {
+  const SocialNetwork g = MakePath(3, 2);
+  std::vector<double> fresh = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  const SocialNetwork h = WithInterests(g, fresh, 2);
+  EXPECT_EQ(h.num_users(), 3);
+  EXPECT_EQ(h.num_friendships(), 2);  // Topology preserved.
+  EXPECT_DOUBLE_EQ(h.Interests(1)[0], 0.3);
+  EXPECT_DOUBLE_EQ(h.Interests(2)[1], 0.6);
+  // Original untouched.
+  EXPECT_DOUBLE_EQ(g.Interests(1)[1], 0.5);
+}
+
+TEST(SocialNetworkTest, EmptyNetwork) {
+  SocialNetworkBuilder b(2);
+  const SocialNetwork g = b.Build();
+  EXPECT_EQ(g.num_users(), 0);
+  EXPECT_EQ(g.num_friendships(), 0);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 0.0);
+}
+
+}  // namespace
+}  // namespace gpssn

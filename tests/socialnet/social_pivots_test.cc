@@ -1,0 +1,95 @@
+// Property tests for social-pivot hop tables (Lemma 4's lower bound).
+
+#include "socialnet/social_pivots.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "socialnet/social_generator.h"
+
+namespace gpssn {
+namespace {
+
+class SocialPivotTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SocialPivotTest, LowerBoundNeverExceedsTrueHops) {
+  const int l = GetParam();
+  SocialGenOptions gen;
+  gen.num_users = 800;
+  gen.seed = 41;
+  const SocialNetwork g = GenerateSocialNetwork(gen);
+  const SocialPivotTable table(g, RandomSocialPivots(g, l, 5));
+  ASSERT_EQ(table.num_pivots(), l);
+
+  BfsEngine engine(&g);
+  Rng rng(13);
+  for (int trial = 0; trial < 150; ++trial) {
+    const UserId a = rng.NextBounded(g.num_users());
+    const UserId b = rng.NextBounded(g.num_users());
+    const int truth = engine.Distance(a, b);
+    const int lb = table.LowerBound(a, b);
+    if (truth == kUnreachableHops) {
+      // Disconnected pairs may be detected (kUnreachableHops) or
+      // under-approximated, but never contradicted.
+      continue;
+    }
+    ASSERT_LE(lb, truth) << "a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PivotCounts, SocialPivotTest,
+                         ::testing::Values(1, 3, 7));
+
+TEST(SocialPivotTest, ExactHopsToPivots) {
+  SocialGenOptions gen;
+  gen.num_users = 300;
+  gen.seed = 43;
+  const SocialNetwork g = GenerateSocialNetwork(gen);
+  const std::vector<UserId> pivots = {3, 50};
+  const SocialPivotTable table(g, pivots);
+  BfsEngine engine(&g);
+  for (size_t k = 0; k < pivots.size(); ++k) {
+    engine.Run(pivots[k]);
+    for (UserId u = 0; u < g.num_users(); u += 11) {
+      EXPECT_EQ(table.UserToPivot(u, static_cast<int>(k)), engine.Hops(u));
+    }
+  }
+}
+
+TEST(SocialPivotTest, SameUserIsZero) {
+  SocialGenOptions gen;
+  gen.num_users = 100;
+  gen.seed = 45;
+  const SocialNetwork g = GenerateSocialNetwork(gen);
+  const SocialPivotTable table(g, RandomSocialPivots(g, 3, 9));
+  EXPECT_EQ(table.LowerBound(42, 42), 0);
+}
+
+TEST(SocialPivotTest, DetectsDifferentComponents) {
+  SocialNetworkBuilder b(1);
+  const std::vector<double> w = {0.5};
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(b.AddUser(w).ok());
+  ASSERT_TRUE(b.AddFriendship(0, 1).ok());
+  ASSERT_TRUE(b.AddFriendship(1, 2).ok());
+  ASSERT_TRUE(b.AddFriendship(3, 4).ok());
+  ASSERT_TRUE(b.AddFriendship(4, 5).ok());
+  const SocialNetwork g = b.Build();
+  const SocialPivotTable table(g, {0});
+  EXPECT_EQ(table.LowerBound(1, 4), kUnreachableHops);
+  EXPECT_LE(table.LowerBound(1, 2), 2);
+}
+
+TEST(SocialPivotTest, RandomPivotsDistinct) {
+  SocialGenOptions gen;
+  gen.num_users = 50;
+  gen.seed = 47;
+  const SocialNetwork g = GenerateSocialNetwork(gen);
+  const auto pivots = RandomSocialPivots(g, 10, 3);
+  std::set<UserId> unique(pivots.begin(), pivots.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+}  // namespace
+}  // namespace gpssn

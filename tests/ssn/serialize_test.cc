@@ -1,0 +1,114 @@
+// Round-trip tests for spatial-social network (de)serialization.
+
+#include "ssn/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "ssn/dataset.h"
+
+namespace gpssn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+SpatialSocialNetwork SmallNetwork(uint64_t seed) {
+  SyntheticSsnOptions o;
+  o.num_road_vertices = 200;
+  o.num_pois = 120;
+  o.num_users = 250;
+  o.num_topics = 20;
+  o.seed = seed;
+  return MakeSynthetic(o);
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  const SpatialSocialNetwork original = SmallNetwork(1);
+  const std::string path = TempPath("roundtrip.gpssn");
+  ASSERT_TRUE(SaveSsn(original, path).ok());
+  auto loaded = LoadSsn(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const SpatialSocialNetwork& copy = *loaded;
+
+  ASSERT_EQ(copy.road().num_vertices(), original.road().num_vertices());
+  ASSERT_EQ(copy.road().num_edges(), original.road().num_edges());
+  for (VertexId v = 0; v < original.road().num_vertices(); ++v) {
+    EXPECT_EQ(copy.road().vertex_point(v), original.road().vertex_point(v));
+  }
+  for (EdgeId e = 0; e < original.road().num_edges(); ++e) {
+    EXPECT_EQ(copy.road().edge_u(e), original.road().edge_u(e));
+    EXPECT_EQ(copy.road().edge_v(e), original.road().edge_v(e));
+    EXPECT_DOUBLE_EQ(copy.road().edge_weight(e), original.road().edge_weight(e));
+  }
+
+  ASSERT_EQ(copy.num_pois(), original.num_pois());
+  for (PoiId i = 0; i < original.num_pois(); ++i) {
+    EXPECT_EQ(copy.poi(i).position.edge, original.poi(i).position.edge);
+    EXPECT_DOUBLE_EQ(copy.poi(i).position.t, original.poi(i).position.t);
+    EXPECT_EQ(copy.poi(i).keywords, original.poi(i).keywords);
+  }
+
+  ASSERT_EQ(copy.num_users(), original.num_users());
+  ASSERT_EQ(copy.num_topics(), original.num_topics());
+  for (UserId u = 0; u < original.num_users(); ++u) {
+    const auto wa = original.social().Interests(u);
+    const auto wb = copy.social().Interests(u);
+    for (size_t f = 0; f < wa.size(); ++f) {
+      ASSERT_DOUBLE_EQ(wa[f], wb[f]);
+    }
+    const auto fa = original.social().Friends(u);
+    const auto fb = copy.social().Friends(u);
+    ASSERT_TRUE(std::equal(fa.begin(), fa.end(), fb.begin(), fb.end()));
+    EXPECT_EQ(copy.user_home(u).edge, original.user_home(u).edge);
+    EXPECT_DOUBLE_EQ(copy.user_home(u).t, original.user_home(u).t);
+  }
+}
+
+TEST(SerializeTest, MissingFileIsIoError) {
+  auto result = LoadSsn(TempPath("does-not-exist.gpssn"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIoError());
+}
+
+TEST(SerializeTest, BadMagicRejected) {
+  const std::string path = TempPath("bad-magic.gpssn");
+  {
+    std::ofstream out(path);
+    out << "not-a-gpssn-file\n";
+  }
+  auto result = LoadSsn(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIoError());
+}
+
+TEST(SerializeTest, TruncatedFileRejected) {
+  const SpatialSocialNetwork original = SmallNetwork(2);
+  const std::string path = TempPath("truncated.gpssn");
+  ASSERT_TRUE(SaveSsn(original, path).ok());
+  // Chop the file in half.
+  std::string contents;
+  {
+    std::ifstream in(path);
+    contents.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(path);
+    out << contents.substr(0, contents.size() / 2);
+  }
+  auto result = LoadSsn(path);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(SerializeTest, UnwritablePathIsIoError) {
+  const SpatialSocialNetwork original = SmallNetwork(3);
+  EXPECT_TRUE(
+      SaveSsn(original, "/nonexistent-dir/foo.gpssn").IsIoError());
+}
+
+}  // namespace
+}  // namespace gpssn
