@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pivots"
+  "../bench/bench_ablation_pivots.pdb"
+  "CMakeFiles/bench_ablation_pivots.dir/bench_ablation_pivots.cc.o"
+  "CMakeFiles/bench_ablation_pivots.dir/bench_ablation_pivots.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pivots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pruning"
+  "../bench/bench_ablation_pruning.pdb"
+  "CMakeFiles/bench_ablation_pruning.dir/bench_ablation_pruning.cc.o"
+  "CMakeFiles/bench_ablation_pruning.dir/bench_ablation_pruning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_num_pois"
+  "../bench/bench_fig10_num_pois.pdb"
+  "CMakeFiles/bench_fig10_num_pois.dir/bench_fig10_num_pois.cc.o"
+  "CMakeFiles/bench_fig10_num_pois.dir/bench_fig10_num_pois.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_num_pois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

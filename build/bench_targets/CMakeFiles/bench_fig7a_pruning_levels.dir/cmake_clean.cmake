@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7a_pruning_levels"
+  "../bench/bench_fig7a_pruning_levels.pdb"
+  "CMakeFiles/bench_fig7a_pruning_levels.dir/bench_fig7a_pruning_levels.cc.o"
+  "CMakeFiles/bench_fig7a_pruning_levels.dir/bench_fig7a_pruning_levels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_pruning_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

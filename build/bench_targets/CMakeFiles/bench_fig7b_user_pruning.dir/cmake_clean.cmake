@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7b_user_pruning"
+  "../bench/bench_fig7b_user_pruning.pdb"
+  "CMakeFiles/bench_fig7b_user_pruning.dir/bench_fig7b_user_pruning.cc.o"
+  "CMakeFiles/bench_fig7b_user_pruning.dir/bench_fig7b_user_pruning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_user_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

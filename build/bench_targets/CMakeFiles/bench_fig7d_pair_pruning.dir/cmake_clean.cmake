@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7d_pair_pruning"
+  "../bench/bench_fig7d_pair_pruning.pdb"
+  "CMakeFiles/bench_fig7d_pair_pruning.dir/bench_fig7d_pair_pruning.cc.o"
+  "CMakeFiles/bench_fig7d_pair_pruning.dir/bench_fig7d_pair_pruning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7d_pair_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

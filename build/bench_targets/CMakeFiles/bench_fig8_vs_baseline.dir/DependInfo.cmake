@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_vs_baseline.cc" "bench_targets/CMakeFiles/bench_fig8_vs_baseline.dir/bench_fig8_vs_baseline.cc.o" "gcc" "bench_targets/CMakeFiles/bench_fig8_vs_baseline.dir/bench_fig8_vs_baseline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_targets/CMakeFiles/gpssn_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_ssn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_socialnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

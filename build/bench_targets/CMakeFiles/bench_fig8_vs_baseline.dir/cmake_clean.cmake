@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_vs_baseline"
+  "../bench/bench_fig8_vs_baseline.pdb"
+  "CMakeFiles/bench_fig8_vs_baseline.dir/bench_fig8_vs_baseline.cc.o"
+  "CMakeFiles/bench_fig8_vs_baseline.dir/bench_fig8_vs_baseline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_vs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_tau"
+  "../bench/bench_fig9_tau.pdb"
+  "CMakeFiles/bench_fig9_tau.dir/bench_fig9_tau.cc.o"
+  "CMakeFiles/bench_fig9_tau.dir/bench_fig9_tau.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figA_gamma"
+  "../bench/bench_figA_gamma.pdb"
+  "CMakeFiles/bench_figA_gamma.dir/bench_figA_gamma.cc.o"
+  "CMakeFiles/bench_figA_gamma.dir/bench_figA_gamma.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figA_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

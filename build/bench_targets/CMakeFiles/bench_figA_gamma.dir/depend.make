@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figA_gamma.
+# This may be replaced when dependencies are built.

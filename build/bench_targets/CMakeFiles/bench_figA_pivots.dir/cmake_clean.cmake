@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figA_pivots"
+  "../bench/bench_figA_pivots.pdb"
+  "CMakeFiles/bench_figA_pivots.dir/bench_figA_pivots.cc.o"
+  "CMakeFiles/bench_figA_pivots.dir/bench_figA_pivots.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figA_pivots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

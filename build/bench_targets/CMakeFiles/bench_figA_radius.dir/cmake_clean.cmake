@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figA_radius"
+  "../bench/bench_figA_radius.pdb"
+  "CMakeFiles/bench_figA_radius.dir/bench_figA_radius.cc.o"
+  "CMakeFiles/bench_figA_radius.dir/bench_figA_radius.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figA_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figA_social_size"
+  "../bench/bench_figA_social_size.pdb"
+  "CMakeFiles/bench_figA_social_size.dir/bench_figA_social_size.cc.o"
+  "CMakeFiles/bench_figA_social_size.dir/bench_figA_social_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figA_social_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_figA_social_size.
+# This may be replaced when dependencies are built.

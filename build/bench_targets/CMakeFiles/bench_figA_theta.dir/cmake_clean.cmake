@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figA_theta"
+  "../bench/bench_figA_theta.pdb"
+  "CMakeFiles/bench_figA_theta.dir/bench_figA_theta.cc.o"
+  "CMakeFiles/bench_figA_theta.dir/bench_figA_theta.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figA_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/gpssn_bench_util.dir/bench_util.cc.o.d"
+  "libgpssn_bench_util.a"
+  "libgpssn_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_shell.dir/gpssn_shell.cpp.o"
+  "CMakeFiles/gpssn_shell.dir/gpssn_shell.cpp.o.d"
+  "gpssn_shell"
+  "gpssn_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

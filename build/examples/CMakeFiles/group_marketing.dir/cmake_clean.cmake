@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_marketing.dir/group_marketing.cpp.o"
+  "CMakeFiles/group_marketing.dir/group_marketing.cpp.o.d"
+  "group_marketing"
+  "group_marketing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_marketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

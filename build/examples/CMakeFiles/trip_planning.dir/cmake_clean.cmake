@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trip_planning.dir/trip_planning.cpp.o"
+  "CMakeFiles/trip_planning.dir/trip_planning.cpp.o.d"
+  "trip_planning"
+  "trip_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trip_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_common.dir/common/bitvector.cc.o"
+  "CMakeFiles/gpssn_common.dir/common/bitvector.cc.o.d"
+  "CMakeFiles/gpssn_common.dir/common/pagestore.cc.o"
+  "CMakeFiles/gpssn_common.dir/common/pagestore.cc.o.d"
+  "CMakeFiles/gpssn_common.dir/common/rng.cc.o"
+  "CMakeFiles/gpssn_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/gpssn_common.dir/common/status.cc.o"
+  "CMakeFiles/gpssn_common.dir/common/status.cc.o.d"
+  "CMakeFiles/gpssn_common.dir/common/table_printer.cc.o"
+  "CMakeFiles/gpssn_common.dir/common/table_printer.cc.o.d"
+  "libgpssn_common.a"
+  "libgpssn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cc" "src/CMakeFiles/gpssn_core.dir/core/baseline.cc.o" "gcc" "src/CMakeFiles/gpssn_core.dir/core/baseline.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/CMakeFiles/gpssn_core.dir/core/database.cc.o" "gcc" "src/CMakeFiles/gpssn_core.dir/core/database.cc.o.d"
+  "/root/repo/src/core/pruning.cc" "src/CMakeFiles/gpssn_core.dir/core/pruning.cc.o" "gcc" "src/CMakeFiles/gpssn_core.dir/core/pruning.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/gpssn_core.dir/core/query.cc.o" "gcc" "src/CMakeFiles/gpssn_core.dir/core/query.cc.o.d"
+  "/root/repo/src/core/refinement.cc" "src/CMakeFiles/gpssn_core.dir/core/refinement.cc.o" "gcc" "src/CMakeFiles/gpssn_core.dir/core/refinement.cc.o.d"
+  "/root/repo/src/core/scores.cc" "src/CMakeFiles/gpssn_core.dir/core/scores.cc.o" "gcc" "src/CMakeFiles/gpssn_core.dir/core/scores.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/CMakeFiles/gpssn_core.dir/core/snapshot.cc.o" "gcc" "src/CMakeFiles/gpssn_core.dir/core/snapshot.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/CMakeFiles/gpssn_core.dir/core/stats.cc.o" "gcc" "src/CMakeFiles/gpssn_core.dir/core/stats.cc.o.d"
+  "/root/repo/src/core/tuning.cc" "src/CMakeFiles/gpssn_core.dir/core/tuning.cc.o" "gcc" "src/CMakeFiles/gpssn_core.dir/core/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpssn_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_ssn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_socialnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

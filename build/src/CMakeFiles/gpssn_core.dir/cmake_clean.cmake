@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_core.dir/core/baseline.cc.o"
+  "CMakeFiles/gpssn_core.dir/core/baseline.cc.o.d"
+  "CMakeFiles/gpssn_core.dir/core/database.cc.o"
+  "CMakeFiles/gpssn_core.dir/core/database.cc.o.d"
+  "CMakeFiles/gpssn_core.dir/core/pruning.cc.o"
+  "CMakeFiles/gpssn_core.dir/core/pruning.cc.o.d"
+  "CMakeFiles/gpssn_core.dir/core/query.cc.o"
+  "CMakeFiles/gpssn_core.dir/core/query.cc.o.d"
+  "CMakeFiles/gpssn_core.dir/core/refinement.cc.o"
+  "CMakeFiles/gpssn_core.dir/core/refinement.cc.o.d"
+  "CMakeFiles/gpssn_core.dir/core/scores.cc.o"
+  "CMakeFiles/gpssn_core.dir/core/scores.cc.o.d"
+  "CMakeFiles/gpssn_core.dir/core/snapshot.cc.o"
+  "CMakeFiles/gpssn_core.dir/core/snapshot.cc.o.d"
+  "CMakeFiles/gpssn_core.dir/core/stats.cc.o"
+  "CMakeFiles/gpssn_core.dir/core/stats.cc.o.d"
+  "CMakeFiles/gpssn_core.dir/core/tuning.cc.o"
+  "CMakeFiles/gpssn_core.dir/core/tuning.cc.o.d"
+  "libgpssn_core.a"
+  "libgpssn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

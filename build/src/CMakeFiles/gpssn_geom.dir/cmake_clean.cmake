@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_geom.dir/geom/pruning_region.cc.o"
+  "CMakeFiles/gpssn_geom.dir/geom/pruning_region.cc.o.d"
+  "CMakeFiles/gpssn_geom.dir/geom/rect.cc.o"
+  "CMakeFiles/gpssn_geom.dir/geom/rect.cc.o.d"
+  "libgpssn_geom.a"
+  "libgpssn_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

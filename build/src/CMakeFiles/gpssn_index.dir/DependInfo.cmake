@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/pivot_select.cc" "src/CMakeFiles/gpssn_index.dir/index/pivot_select.cc.o" "gcc" "src/CMakeFiles/gpssn_index.dir/index/pivot_select.cc.o.d"
+  "/root/repo/src/index/poi_index.cc" "src/CMakeFiles/gpssn_index.dir/index/poi_index.cc.o" "gcc" "src/CMakeFiles/gpssn_index.dir/index/poi_index.cc.o.d"
+  "/root/repo/src/index/rstar_tree.cc" "src/CMakeFiles/gpssn_index.dir/index/rstar_tree.cc.o" "gcc" "src/CMakeFiles/gpssn_index.dir/index/rstar_tree.cc.o.d"
+  "/root/repo/src/index/social_index.cc" "src/CMakeFiles/gpssn_index.dir/index/social_index.cc.o" "gcc" "src/CMakeFiles/gpssn_index.dir/index/social_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpssn_ssn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_socialnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_index.dir/index/pivot_select.cc.o"
+  "CMakeFiles/gpssn_index.dir/index/pivot_select.cc.o.d"
+  "CMakeFiles/gpssn_index.dir/index/poi_index.cc.o"
+  "CMakeFiles/gpssn_index.dir/index/poi_index.cc.o.d"
+  "CMakeFiles/gpssn_index.dir/index/rstar_tree.cc.o"
+  "CMakeFiles/gpssn_index.dir/index/rstar_tree.cc.o.d"
+  "CMakeFiles/gpssn_index.dir/index/social_index.cc.o"
+  "CMakeFiles/gpssn_index.dir/index/social_index.cc.o.d"
+  "libgpssn_index.a"
+  "libgpssn_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadnet/astar.cc" "src/CMakeFiles/gpssn_roadnet.dir/roadnet/astar.cc.o" "gcc" "src/CMakeFiles/gpssn_roadnet.dir/roadnet/astar.cc.o.d"
+  "/root/repo/src/roadnet/contraction_hierarchy.cc" "src/CMakeFiles/gpssn_roadnet.dir/roadnet/contraction_hierarchy.cc.o" "gcc" "src/CMakeFiles/gpssn_roadnet.dir/roadnet/contraction_hierarchy.cc.o.d"
+  "/root/repo/src/roadnet/road_generator.cc" "src/CMakeFiles/gpssn_roadnet.dir/roadnet/road_generator.cc.o" "gcc" "src/CMakeFiles/gpssn_roadnet.dir/roadnet/road_generator.cc.o.d"
+  "/root/repo/src/roadnet/road_graph.cc" "src/CMakeFiles/gpssn_roadnet.dir/roadnet/road_graph.cc.o" "gcc" "src/CMakeFiles/gpssn_roadnet.dir/roadnet/road_graph.cc.o.d"
+  "/root/repo/src/roadnet/road_locator.cc" "src/CMakeFiles/gpssn_roadnet.dir/roadnet/road_locator.cc.o" "gcc" "src/CMakeFiles/gpssn_roadnet.dir/roadnet/road_locator.cc.o.d"
+  "/root/repo/src/roadnet/road_pivots.cc" "src/CMakeFiles/gpssn_roadnet.dir/roadnet/road_pivots.cc.o" "gcc" "src/CMakeFiles/gpssn_roadnet.dir/roadnet/road_pivots.cc.o.d"
+  "/root/repo/src/roadnet/shortest_path.cc" "src/CMakeFiles/gpssn_roadnet.dir/roadnet/shortest_path.cc.o" "gcc" "src/CMakeFiles/gpssn_roadnet.dir/roadnet/shortest_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpssn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpssn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_roadnet.dir/roadnet/astar.cc.o"
+  "CMakeFiles/gpssn_roadnet.dir/roadnet/astar.cc.o.d"
+  "CMakeFiles/gpssn_roadnet.dir/roadnet/contraction_hierarchy.cc.o"
+  "CMakeFiles/gpssn_roadnet.dir/roadnet/contraction_hierarchy.cc.o.d"
+  "CMakeFiles/gpssn_roadnet.dir/roadnet/road_generator.cc.o"
+  "CMakeFiles/gpssn_roadnet.dir/roadnet/road_generator.cc.o.d"
+  "CMakeFiles/gpssn_roadnet.dir/roadnet/road_graph.cc.o"
+  "CMakeFiles/gpssn_roadnet.dir/roadnet/road_graph.cc.o.d"
+  "CMakeFiles/gpssn_roadnet.dir/roadnet/road_locator.cc.o"
+  "CMakeFiles/gpssn_roadnet.dir/roadnet/road_locator.cc.o.d"
+  "CMakeFiles/gpssn_roadnet.dir/roadnet/road_pivots.cc.o"
+  "CMakeFiles/gpssn_roadnet.dir/roadnet/road_pivots.cc.o.d"
+  "CMakeFiles/gpssn_roadnet.dir/roadnet/shortest_path.cc.o"
+  "CMakeFiles/gpssn_roadnet.dir/roadnet/shortest_path.cc.o.d"
+  "libgpssn_roadnet.a"
+  "libgpssn_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

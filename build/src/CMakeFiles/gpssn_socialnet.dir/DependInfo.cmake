@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/socialnet/bfs.cc" "src/CMakeFiles/gpssn_socialnet.dir/socialnet/bfs.cc.o" "gcc" "src/CMakeFiles/gpssn_socialnet.dir/socialnet/bfs.cc.o.d"
+  "/root/repo/src/socialnet/partitioner.cc" "src/CMakeFiles/gpssn_socialnet.dir/socialnet/partitioner.cc.o" "gcc" "src/CMakeFiles/gpssn_socialnet.dir/socialnet/partitioner.cc.o.d"
+  "/root/repo/src/socialnet/social_generator.cc" "src/CMakeFiles/gpssn_socialnet.dir/socialnet/social_generator.cc.o" "gcc" "src/CMakeFiles/gpssn_socialnet.dir/socialnet/social_generator.cc.o.d"
+  "/root/repo/src/socialnet/social_graph.cc" "src/CMakeFiles/gpssn_socialnet.dir/socialnet/social_graph.cc.o" "gcc" "src/CMakeFiles/gpssn_socialnet.dir/socialnet/social_graph.cc.o.d"
+  "/root/repo/src/socialnet/social_pivots.cc" "src/CMakeFiles/gpssn_socialnet.dir/socialnet/social_pivots.cc.o" "gcc" "src/CMakeFiles/gpssn_socialnet.dir/socialnet/social_pivots.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpssn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

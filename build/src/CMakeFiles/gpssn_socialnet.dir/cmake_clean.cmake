@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_socialnet.dir/socialnet/bfs.cc.o"
+  "CMakeFiles/gpssn_socialnet.dir/socialnet/bfs.cc.o.d"
+  "CMakeFiles/gpssn_socialnet.dir/socialnet/partitioner.cc.o"
+  "CMakeFiles/gpssn_socialnet.dir/socialnet/partitioner.cc.o.d"
+  "CMakeFiles/gpssn_socialnet.dir/socialnet/social_generator.cc.o"
+  "CMakeFiles/gpssn_socialnet.dir/socialnet/social_generator.cc.o.d"
+  "CMakeFiles/gpssn_socialnet.dir/socialnet/social_graph.cc.o"
+  "CMakeFiles/gpssn_socialnet.dir/socialnet/social_graph.cc.o.d"
+  "CMakeFiles/gpssn_socialnet.dir/socialnet/social_pivots.cc.o"
+  "CMakeFiles/gpssn_socialnet.dir/socialnet/social_pivots.cc.o.d"
+  "libgpssn_socialnet.a"
+  "libgpssn_socialnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_socialnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

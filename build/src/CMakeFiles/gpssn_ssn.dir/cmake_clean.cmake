@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_ssn.dir/ssn/dataset.cc.o"
+  "CMakeFiles/gpssn_ssn.dir/ssn/dataset.cc.o.d"
+  "CMakeFiles/gpssn_ssn.dir/ssn/serialize.cc.o"
+  "CMakeFiles/gpssn_ssn.dir/ssn/serialize.cc.o.d"
+  "CMakeFiles/gpssn_ssn.dir/ssn/spatial_social_network.cc.o"
+  "CMakeFiles/gpssn_ssn.dir/ssn/spatial_social_network.cc.o.d"
+  "libgpssn_ssn.a"
+  "libgpssn_ssn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_ssn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gpssn_common_pagestore_test.
+# This may be replaced when dependencies are built.

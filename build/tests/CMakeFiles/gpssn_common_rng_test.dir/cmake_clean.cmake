@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_common_rng_test.dir/common/rng_test.cc.o"
+  "CMakeFiles/gpssn_common_rng_test.dir/common/rng_test.cc.o.d"
+  "gpssn_common_rng_test"
+  "gpssn_common_rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_common_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

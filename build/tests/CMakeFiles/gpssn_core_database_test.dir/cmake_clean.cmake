@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_core_database_test.dir/core/database_test.cc.o"
+  "CMakeFiles/gpssn_core_database_test.dir/core/database_test.cc.o.d"
+  "gpssn_core_database_test"
+  "gpssn_core_database_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_core_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

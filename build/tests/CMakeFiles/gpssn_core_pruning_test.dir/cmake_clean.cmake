@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_core_pruning_test.dir/core/pruning_test.cc.o"
+  "CMakeFiles/gpssn_core_pruning_test.dir/core/pruning_test.cc.o.d"
+  "gpssn_core_pruning_test"
+  "gpssn_core_pruning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_core_pruning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_core_query_test.dir/core/query_test.cc.o"
+  "CMakeFiles/gpssn_core_query_test.dir/core/query_test.cc.o.d"
+  "gpssn_core_query_test"
+  "gpssn_core_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_core_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_core_stats_test.dir/core/stats_test.cc.o"
+  "CMakeFiles/gpssn_core_stats_test.dir/core/stats_test.cc.o.d"
+  "gpssn_core_stats_test"
+  "gpssn_core_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_core_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

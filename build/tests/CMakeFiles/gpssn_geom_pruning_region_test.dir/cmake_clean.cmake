@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_geom_pruning_region_test.dir/geom/pruning_region_test.cc.o"
+  "CMakeFiles/gpssn_geom_pruning_region_test.dir/geom/pruning_region_test.cc.o.d"
+  "gpssn_geom_pruning_region_test"
+  "gpssn_geom_pruning_region_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_geom_pruning_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_geom_rect_test.dir/geom/rect_test.cc.o"
+  "CMakeFiles/gpssn_geom_rect_test.dir/geom/rect_test.cc.o.d"
+  "gpssn_geom_rect_test"
+  "gpssn_geom_rect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_geom_rect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_index_dynamic_poi_test.dir/index/dynamic_poi_test.cc.o"
+  "CMakeFiles/gpssn_index_dynamic_poi_test.dir/index/dynamic_poi_test.cc.o.d"
+  "gpssn_index_dynamic_poi_test"
+  "gpssn_index_dynamic_poi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_index_dynamic_poi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

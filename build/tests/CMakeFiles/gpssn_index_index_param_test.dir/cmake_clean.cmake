@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_index_index_param_test.dir/index/index_param_test.cc.o"
+  "CMakeFiles/gpssn_index_index_param_test.dir/index/index_param_test.cc.o.d"
+  "gpssn_index_index_param_test"
+  "gpssn_index_index_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_index_index_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_index_poi_index_test.dir/index/poi_index_test.cc.o"
+  "CMakeFiles/gpssn_index_poi_index_test.dir/index/poi_index_test.cc.o.d"
+  "gpssn_index_poi_index_test"
+  "gpssn_index_poi_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_index_poi_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

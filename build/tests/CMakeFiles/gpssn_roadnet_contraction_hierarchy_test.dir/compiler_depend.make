@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gpssn_roadnet_contraction_hierarchy_test.
+# This may be replaced when dependencies are built.

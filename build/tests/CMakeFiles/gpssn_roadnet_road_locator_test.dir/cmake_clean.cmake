@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_roadnet_road_locator_test.dir/roadnet/road_locator_test.cc.o"
+  "CMakeFiles/gpssn_roadnet_road_locator_test.dir/roadnet/road_locator_test.cc.o.d"
+  "gpssn_roadnet_road_locator_test"
+  "gpssn_roadnet_road_locator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_roadnet_road_locator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_socialnet_bfs_test.dir/socialnet/bfs_test.cc.o"
+  "CMakeFiles/gpssn_socialnet_bfs_test.dir/socialnet/bfs_test.cc.o.d"
+  "gpssn_socialnet_bfs_test"
+  "gpssn_socialnet_bfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_socialnet_bfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gpssn_socialnet_bfs_test.
+# This may be replaced when dependencies are built.

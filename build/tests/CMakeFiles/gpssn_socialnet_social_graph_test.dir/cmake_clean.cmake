@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_socialnet_social_graph_test.dir/socialnet/social_graph_test.cc.o"
+  "CMakeFiles/gpssn_socialnet_social_graph_test.dir/socialnet/social_graph_test.cc.o.d"
+  "gpssn_socialnet_social_graph_test"
+  "gpssn_socialnet_social_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_socialnet_social_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

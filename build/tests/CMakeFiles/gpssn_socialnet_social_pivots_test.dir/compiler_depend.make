@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gpssn_socialnet_social_pivots_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_ssn_serialize_fuzz_test.dir/ssn/serialize_fuzz_test.cc.o"
+  "CMakeFiles/gpssn_ssn_serialize_fuzz_test.dir/ssn/serialize_fuzz_test.cc.o.d"
+  "gpssn_ssn_serialize_fuzz_test"
+  "gpssn_ssn_serialize_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_ssn_serialize_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

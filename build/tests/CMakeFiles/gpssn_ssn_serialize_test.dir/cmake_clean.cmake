@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpssn_ssn_serialize_test.dir/ssn/serialize_test.cc.o"
+  "CMakeFiles/gpssn_ssn_serialize_test.dir/ssn/serialize_test.cc.o.d"
+  "gpssn_ssn_serialize_test"
+  "gpssn_ssn_serialize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpssn_ssn_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
