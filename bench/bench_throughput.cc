@@ -1,0 +1,82 @@
+// Batch-query throughput: sweeps the GpssnBatchExecutor worker count over
+// a fixed randomized workload on the synthetic datasets and reports
+// aggregate throughput, speedup over 1 worker, and latency percentiles.
+// The indexes are immutable shared state; each worker owns one pooled
+// processor, so scaling is bounded only by cores and memory bandwidth.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+
+namespace gpssn::bench {
+namespace {
+
+std::vector<GpssnQuery> MakeWorkload(const GpssnDatabase& db, int count,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<GpssnQuery> queries;
+  queries.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    GpssnQuery q = DefaultQuery();
+    q.issuer = static_cast<UserId>(rng.NextBounded(db.ssn().num_users()));
+    q.tau = 3 + static_cast<int>(rng.NextBounded(4));
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+void Run() {
+  const BenchConfig config = GetConfig();
+  const int num_queries = config.queries * 8;
+  std::printf(
+      "=== Batch throughput: GpssnBatchExecutor worker sweep "
+      "(scale %.2f, %d queries, %u hardware threads) ===\n",
+      config.scale, num_queries, std::thread::hardware_concurrency());
+
+  TablePrinter table({"dataset", "workers", "wall (s)", "qps", "speedup",
+                      "p50 (ms)", "p95 (ms)", "p99 (ms)", "found"});
+  for (const char* name : {"UNI", "ZIPF"}) {
+    auto db = BuildDatabase(MakeDataset(name, config.scale));
+    const std::vector<GpssnQuery> workload =
+        MakeWorkload(*db, num_queries, /*seed=*/42);
+    double qps_at_1 = 0.0;
+    for (int workers : {1, 2, 4, 8}) {
+      BatchExecutorOptions options;
+      options.num_workers = workers;
+      GpssnBatchExecutor executor(&db->poi_index(), &db->social_index(),
+                                  options);
+      // Warm-up pass populates every worker's arenas; the measured pass
+      // then sees steady-state allocation behaviour.
+      executor.ExecuteAll(workload);
+      BatchStats stats;
+      executor.ExecuteAll(workload, &stats);
+      if (workers == 1) qps_at_1 = stats.throughput_qps;
+      table.AddRow(
+          {name, std::to_string(workers), TablePrinter::Num(stats.wall_seconds, 3),
+           TablePrinter::Num(stats.throughput_qps, 1),
+           TablePrinter::Num(
+               qps_at_1 > 0.0 ? stats.throughput_qps / qps_at_1 : 0.0, 2) + "x",
+           TablePrinter::Num(stats.latency_p50_seconds * 1e3, 2),
+           TablePrinter::Num(stats.latency_p95_seconds * 1e3, 2),
+           TablePrinter::Num(stats.latency_p99_seconds * 1e3, 2),
+           std::to_string(stats.answers_found) + "/" +
+               std::to_string(stats.queries)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "(expected: near-linear speedup up to the physical core count; "
+      "flat on a single-core host)\n");
+}
+
+}  // namespace
+}  // namespace gpssn::bench
+
+int main() {
+  gpssn::bench::Run();
+  return 0;
+}

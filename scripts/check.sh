@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Per-PR machine check: the tier-1 verify line plus a ThreadSanitizer build
+# of the concurrency-related tests, so the threading model (immutable
+# shared indexes, per-worker processors, lock-free stat lanes) is validated
+# on every change.
+#
+# Usage: scripts/check.sh [--tier1-only|--tsan-only]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+TSAN_TESTS='gpssn_core_concurrency_test|gpssn_core_executor_test|gpssn_ssn_serialize_fuzz_test'
+MODE="${1:-all}"
+case "$MODE" in
+  all|--tier1-only|--tsan-only) ;;
+  *)
+    echo "usage: scripts/check.sh [--tier1-only|--tsan-only]" >&2
+    exit 2
+    ;;
+esac
+
+if [[ "$MODE" != "--tsan-only" ]]; then
+  echo "=== tier-1: build + full test suite ==="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  (cd build && ctest --output-on-failure -j "$JOBS")
+fi
+
+if [[ "$MODE" != "--tier1-only" ]]; then
+  echo "=== TSAN: concurrency-related tests ==="
+  cmake -B build-tsan -S . -DGPSSN_SANITIZE=thread
+  # Only the TSAN-relevant test binaries are built, keeping the check fast.
+  cmake --build build-tsan -j "$JOBS" --target \
+    gpssn_core_concurrency_test gpssn_core_executor_test \
+    gpssn_ssn_serialize_fuzz_test
+  (cd build-tsan && ctest --output-on-failure -R "$TSAN_TESTS")
+fi
+
+echo "OK"

@@ -27,6 +27,10 @@ const char* StatusCodeName(StatusCode code) {
       return "not-implemented";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

@@ -24,6 +24,8 @@ enum class StatusCode : int {
   kIoError = 5,
   kNotImplemented = 6,
   kInternal = 7,
+  kDeadlineExceeded = 8,
+  kCancelled = 9,
 };
 
 /// Returns the canonical lowercase name of `code` ("ok", "invalid-argument"...).
@@ -65,6 +67,12 @@ class Status {
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
   }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
@@ -75,6 +83,10 @@ class Status {
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "ok" or "invalid-argument: <message>".
   std::string ToString() const;

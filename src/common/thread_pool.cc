@@ -1,0 +1,61 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+namespace gpssn {
+
+ThreadPool::ThreadPool(int num_threads) {
+  GPSSN_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (int w = 0; w < num_threads; ++w) {
+    workers_.emplace_back([this, w]() { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Drain-then-stop: workers only exit once the queue is empty, so every
+    // submitted task runs.
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(Task task) {
+  GPSSN_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    GPSSN_CHECK(!stop_);
+    queue_.push_back(std::move(task));
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this]() { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task(worker);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace gpssn

@@ -1,0 +1,63 @@
+// Copyright 2026 The gpssn Authors.
+//
+// A fixed-size worker pool with worker-indexed tasks. Built for the batch
+// query executor (core/executor.h): each task receives the index of the
+// worker running it, so callers can give every worker exclusive ownership
+// of per-thread state (query processors, stat accumulators) and skip all
+// synchronization on it — anything published by a task before WaitAll()
+// returns is visible to the waiting thread (release/acquire on the pool's
+// mutex).
+
+#ifndef GPSSN_COMMON_THREAD_POOL_H_
+#define GPSSN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace gpssn {
+
+/// Fixed-size FIFO thread pool. Tasks are `void(int worker)` callables;
+/// `worker` ∈ [0, num_threads) identifies the executing worker and is
+/// stable for that thread's lifetime. Destruction drains the queue first
+/// (every submitted task runs exactly once).
+class ThreadPool {
+ public:
+  using Task = std::function<void(int)>;
+
+  /// Spawns `num_threads` (≥ 1) workers immediately.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  GPSSN_DISALLOW_COPY_AND_MOVE(ThreadPool);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. Never blocks (unbounded queue).
+  void Submit(Task task);
+
+  /// Blocks until the queue is empty AND every popped task has finished.
+  /// Tasks submitted concurrently with WaitAll (e.g. from inside a task)
+  /// are waited on too.
+  void WaitAll();
+
+ private:
+  void WorkerLoop(int worker);
+
+  std::mutex mu_;
+  std::condition_variable task_cv_;  // Signals workers: work or shutdown.
+  std::condition_variable idle_cv_;  // Signals WaitAll: pool drained.
+  std::deque<Task> queue_;
+  int in_flight_ = 0;  // Tasks popped but not yet finished.
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_COMMON_THREAD_POOL_H_

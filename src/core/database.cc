@@ -87,6 +87,13 @@ Result<std::vector<GpssnAnswer>> GpssnDatabase::QueryTopK(
   return processor_->ExecuteTopK(query, k, options, stats);
 }
 
+std::vector<BatchQueryResult> GpssnDatabase::QueryBatch(
+    std::span<const GpssnQuery> queries, const BatchExecutorOptions& options,
+    BatchStats* stats) {
+  GpssnBatchExecutor executor(poi_index_.get(), social_index_.get(), options);
+  return executor.ExecuteAll(queries, stats);
+}
+
 Status GpssnDatabase::UpdateUserInterests(UserId u,
                                           std::span<const double> interests) {
   GPSSN_RETURN_NOT_OK(ssn_.UpdateUserInterests(u, interests));

@@ -9,7 +9,10 @@
 #define GPSSN_CORE_DATABASE_H_
 
 #include <memory>
+#include <span>
+#include <vector>
 
+#include "core/executor.h"
 #include "core/query.h"
 #include "index/pivot_select.h"
 #include "index/poi_index.h"
@@ -66,6 +69,15 @@ class GpssnDatabase {
   Result<std::vector<GpssnAnswer>> QueryTopK(const GpssnQuery& query, int k,
                                              const QueryOptions& options,
                                              QueryStats* stats = nullptr);
+
+  /// Concurrent batch entry point: runs `queries` across a pool of
+  /// `options.num_workers` processors (see GpssnBatchExecutor) and returns
+  /// per-query results in input order; `stats` (optional) receives the
+  /// batch aggregate. For sustained workloads construct a
+  /// GpssnBatchExecutor directly and reuse it across batches.
+  std::vector<BatchQueryResult> QueryBatch(
+      std::span<const GpssnQuery> queries,
+      const BatchExecutorOptions& options = {}, BatchStats* stats = nullptr);
 
   /// Dynamic maintenance: a new facility opens on an existing road edge.
   /// Appends the POI, patches I_R (see PoiIndex::InsertPoi), and refreshes

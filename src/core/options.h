@@ -6,11 +6,41 @@
 #ifndef GPSSN_CORE_OPTIONS_H_
 #define GPSSN_CORE_OPTIONS_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 
 #include "roadnet/types.h"
 
 namespace gpssn {
+
+/// Cooperative per-query deadline. The processor polls Expired() at its
+/// descent-loop, heap-round, and refinement boundaries and abandons the
+/// query with a DeadlineExceeded status once it fires. Default-constructed
+/// deadlines never expire; cheap to copy.
+class QueryDeadline {
+ public:
+  QueryDeadline() = default;
+
+  /// A deadline `seconds` from now (wall clock, monotonic).
+  static QueryDeadline After(double seconds) {
+    QueryDeadline d;
+    d.armed_ = true;
+    d.at_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool armed() const { return armed_; }
+  bool Expired() const {
+    return armed_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
 
 /// How the common-interest score between two users is computed. The paper
 /// uses the dot product (Eq. 1) and names Jaccard similarity and Hamming
@@ -67,6 +97,12 @@ struct QueryOptions {
   bool subset_sampling = false;
   int subset_samples = 4000;
   uint64_t seed = 1;
+  /// Cooperative deadline (see QueryDeadline). Unarmed by default.
+  QueryDeadline deadline;
+  /// Optional external cancel flag (e.g. batch shutdown), polled at the
+  /// same loop boundaries as the deadline; fires a Cancelled status. The
+  /// pointee must outlive the query.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 }  // namespace gpssn

@@ -70,9 +70,25 @@ Result<GpssnAnswer> GpssnProcessor::Execute(const GpssnQuery& query,
   *out = QueryStats();
   WallTimer timer;
 
+  // Distinguishes the two cooperative-interruption causes once ExecuteImpl
+  // reports one (external cancel wins: it implies the caller no longer
+  // wants the answer regardless of the deadline).
+  auto interrupted_status = [&options]() {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled");
+    }
+    return Status::DeadlineExceeded("query deadline exceeded");
+  };
+
   double final_delta = kInfDistance;
+  bool interrupted = false;
   std::vector<GpssnAnswer> top =
-      ExecuteImpl(query, options, /*top_k=*/1, out, &final_delta);
+      ExecuteImpl(query, options, /*top_k=*/1, out, &final_delta, &interrupted);
+  if (interrupted) {
+    out->cpu_seconds = timer.ElapsedSeconds();
+    return interrupted_status();
+  }
   GpssnAnswer answer = top.empty() ? GpssnAnswer() : std::move(top.front());
 
   // δ-cut exactness check (see the header comment): if the best found
@@ -87,8 +103,12 @@ Result<GpssnAnswer> GpssnProcessor::Execute(const GpssnQuery& query,
     relaxed.pruning.road_distance = false;
     QueryStats rerun_stats;
     double unused = kInfDistance;
-    std::vector<GpssnAnswer> rerun =
-        ExecuteImpl(query, relaxed, /*top_k=*/1, &rerun_stats, &unused);
+    std::vector<GpssnAnswer> rerun = ExecuteImpl(
+        query, relaxed, /*top_k=*/1, &rerun_stats, &unused, &interrupted);
+    if (interrupted) {
+      out->cpu_seconds = timer.ElapsedSeconds();
+      return interrupted_status();
+    }
     GpssnAnswer exact = rerun.empty() ? GpssnAnswer() : std::move(rerun.front());
     // Keep the first run's pruning counters (they describe the indexed
     // fast path) but charge the extra I/O and refinement work.
@@ -135,9 +155,17 @@ Result<std::vector<GpssnAnswer>> GpssnProcessor::ExecuteTopK(
   QueryOptions relaxed = options;
   relaxed.pruning.road_distance = false;
   double unused = kInfDistance;
+  bool interrupted = false;
   std::vector<GpssnAnswer> results =
-      ExecuteImpl(query, relaxed, k, out, &unused);
+      ExecuteImpl(query, relaxed, k, out, &unused, &interrupted);
   out->cpu_seconds = timer.ElapsedSeconds();
+  if (interrupted) {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled");
+    }
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
   return results;
 }
 
@@ -145,7 +173,25 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
                                                      const QueryOptions& options,
                                                      int top_k,
                                                      QueryStats* stats,
-                                                     double* final_delta) {
+                                                     double* final_delta,
+                                                     bool* interrupted) {
+  // Cooperative interruption (deadline / external cancel). Polled at every
+  // loop boundary below; `aborted` lets the nested traversal lambdas
+  // unwind without partial-answer leakage. The longest unpolled stretch is
+  // one bounded Dijkstra inside get_user_dists, which bounds the latency
+  // overshoot past a deadline.
+  *interrupted = false;
+  bool aborted = false;
+  auto interrupted_now = [&options]() {
+    return (options.cancel != nullptr &&
+            options.cancel->load(std::memory_order_relaxed)) ||
+           options.deadline.Expired();
+  };
+  if (interrupted_now()) {
+    *interrupted = true;
+    return {};
+  }
+
   const SpatialSocialNetwork& ssn = poi_index_->ssn();
   const SocialNetwork& social = ssn.social();
   const PruningFlags& flags = options.pruning;
@@ -192,6 +238,10 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
   auto process_ir_round = [&]() {
     RoadHeap next;
     while (!heap.empty()) {
+      if (interrupted_now()) {
+        aborted = true;
+        return;
+      }
       const auto [key, node_id] = heap.top();
       heap.pop();
       if (flags.road_distance && key > delta) {
@@ -260,7 +310,12 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
     ++stats->social_nodes_visited;
     pool.Access(social_index_->node(social_index_->root()).page);
   }
-  for (int level = social_index_->height() - 1; level >= 1; --level) {
+  for (int level = social_index_->height() - 1; level >= 1 && !aborted;
+       --level) {
+    if (interrupted_now()) {
+      aborted = true;
+      break;
+    }
     std::vector<SNodeId> next_frontier;
     for (SNodeId id : s_frontier) {
       const SocialIndexNode& node = social_index_->node(id);
@@ -287,9 +342,15 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
   }
 
   // I_S leaf level: object-level user pruning (Section 3.2).
+  uint32_t poll_stride = 0;
   for (SNodeId id : s_frontier) {
+    if (aborted) break;
     const SocialIndexNode& leaf = social_index_->node(id);
     for (UserId u : leaf.users) {
+      if ((++poll_stride & 255u) == 0 && interrupted_now()) {
+        aborted = true;
+        break;
+      }
       ++stats->users_seen;
       pool.Access(social_index_->user_page(u));
       if (u == query.issuer) {
@@ -321,7 +382,11 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
 
   // Remaining I_R levels (lines 27-28).
   int guard = poi_index_->height() + 2;
-  while (!heap.empty() && guard-- > 0) process_ir_round();
+  while (!heap.empty() && guard-- > 0 && !aborted) process_ir_round();
+  if (aborted) {
+    *interrupted = true;
+    return {};
+  }
 
   stats->users_candidates = user_cands.size();
   stats->pois_candidates = r_cand.size();
@@ -455,7 +520,13 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
     return user_dist.emplace(u, std::move(dists)).first->second;
   };
 
-  for (const auto& [center_lb, c] : centers) get_center(c);
+  for (const auto& [center_lb, c] : centers) {
+    if (interrupted_now()) {
+      *interrupted = true;
+      return {};
+    }
+    get_center(c);
+  }
 
   // One exact Dijkstra from the issuer (bounded by δ) upgrades the center
   // ordering from pivot lower bounds to the exact issuer-side objective
@@ -485,7 +556,12 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
   }
 
   int64_t pair_budget = options.max_refine_pairs;
+  poll_stride = 0;
   for (const auto& [center_lb, c] : centers) {
+    if (interrupted_now()) {
+      *interrupted = true;
+      return {};
+    }
     if (center_lb >= bound()) break;
     const CenterInfo& info = get_center(c);
     if (info.ball.empty()) continue;
@@ -493,6 +569,10 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
     const PoiAug& center_aug = poi_index_->poi_aug(c);
 
     for (const auto& group : groups) {
+      if ((++poll_stride & 63u) == 0 && interrupted_now()) {
+        *interrupted = true;
+        return {};
+      }
       // Pivot lower bound of the pair objective (Lemma 5).
       double pair_lb = center_lb;
       for (UserId u : group) {

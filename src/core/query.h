@@ -50,7 +50,10 @@ class GpssnProcessor {
   /// Answers one GP-SSN query. On success `stats` (optional) carries CPU
   /// time, page I/Os, and pruning counters. Returns InvalidArgument for
   /// malformed queries (bad issuer, τ < 1, radius outside the index's
-  /// [r_min, r_max] envelope).
+  /// [r_min, r_max] envelope), DeadlineExceeded when
+  /// `options.deadline` fires mid-query, and Cancelled when
+  /// `options.cancel` is raised (both polled cooperatively at descent-loop
+  /// and refinement boundaries).
   Result<GpssnAnswer> Execute(const GpssnQuery& query,
                               const QueryOptions& options,
                               QueryStats* stats = nullptr);
@@ -65,9 +68,12 @@ class GpssnProcessor {
                                                QueryStats* stats = nullptr);
 
  private:
+  /// `interrupted` (required) is set when the deadline/cancel hook fired
+  /// and the traversal was abandoned; the partial result must be discarded.
   std::vector<GpssnAnswer> ExecuteImpl(const GpssnQuery& query,
                                        const QueryOptions& options, int top_k,
-                                       QueryStats* stats, double* final_delta);
+                                       QueryStats* stats, double* final_delta,
+                                       bool* interrupted);
 
   const PoiIndex* poi_index_;
   const SocialIndex* social_index_;

@@ -4,6 +4,33 @@
 
 namespace gpssn {
 
+void QueryStats::MergeFrom(const QueryStats& other) {
+  cpu_seconds += other.cpu_seconds;
+  io.logical_accesses += other.io.logical_accesses;
+  io.page_misses += other.io.page_misses;
+  social_nodes_visited += other.social_nodes_visited;
+  social_nodes_pruned_interest += other.social_nodes_pruned_interest;
+  social_nodes_pruned_distance += other.social_nodes_pruned_distance;
+  users_seen += other.users_seen;
+  users_pruned_interest += other.users_pruned_interest;
+  users_pruned_distance += other.users_pruned_distance;
+  users_pruned_corollary2 += other.users_pruned_corollary2;
+  users_candidates += other.users_candidates;
+  users_pruned_at_index_level += other.users_pruned_at_index_level;
+  road_nodes_visited += other.road_nodes_visited;
+  road_nodes_pruned_match += other.road_nodes_pruned_match;
+  road_nodes_pruned_distance += other.road_nodes_pruned_distance;
+  pois_seen += other.pois_seen;
+  pois_pruned_match += other.pois_pruned_match;
+  pois_pruned_distance += other.pois_pruned_distance;
+  pois_candidates += other.pois_candidates;
+  pois_pruned_at_index_level += other.pois_pruned_at_index_level;
+  groups_enumerated += other.groups_enumerated;
+  pairs_examined += other.pairs_examined;
+  exact_distance_evals += other.exact_distance_evals;
+  truncated = truncated || other.truncated;
+}
+
 std::string QueryStats::ToString() const {
   char buf[1024];
   std::snprintf(

@@ -50,6 +50,10 @@ struct QueryStats {
   /// Page misses (the paper's "number of page accesses through a buffer").
   uint64_t PageAccesses() const { return io.page_misses; }
 
+  /// Adds every counter (and cpu_seconds) of `other` into this struct;
+  /// `truncated` ORs. Used by batch-level aggregation (core/executor.h).
+  void MergeFrom(const QueryStats& other);
+
   std::string ToString() const;
 };
 

@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "core/baseline.h"
 #include "core/database.h"
+#include "core/executor.h"
 #include "core/options.h"
 #include "core/query.h"
 #include "core/scores.h"

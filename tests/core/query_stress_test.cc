@@ -2,6 +2,8 @@
 // exhaustive oracle across randomly drawn networks, build configurations,
 // query parameters, and metrics. This is the widest net in the suite.
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "core/baseline.h"
@@ -75,6 +77,116 @@ TEST_P(QueryStressTest, RandomInstancesMatchOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QueryStressTest,
                          ::testing::Range<uint64_t>(1, 9));
+
+// Builds one random small database for the δ-cut / top-k stress tests.
+std::unique_ptr<GpssnDatabase> RandomSmallDb(Rng* rng) {
+  SyntheticSsnOptions data;
+  data.num_road_vertices = 120 + static_cast<int>(rng->NextBounded(130));
+  data.num_pois = 40 + static_cast<int>(rng->NextBounded(50));
+  data.num_users = 80 + static_cast<int>(rng->NextBounded(70));
+  data.num_topics = 8 + static_cast<int>(rng->NextBounded(12));
+  data.space_size = 12.0 + rng->UniformDouble(0, 8);
+  data.community_size = 20 + static_cast<int>(rng->NextBounded(40));
+  data.distribution =
+      rng->Bernoulli(0.5) ? Distribution::kUniform : Distribution::kZipf;
+  data.seed = rng->Next();
+  GpssnBuildOptions build;
+  build.num_road_pivots = 1 + static_cast<int>(rng->NextBounded(4));
+  build.num_social_pivots = 1 + static_cast<int>(rng->NextBounded(4));
+  build.social_index.leaf_cell_size = 8 + static_cast<int>(rng->NextBounded(24));
+  build.poi_index.r_min = 0.3;
+  build.poi_index.r_max = 4.5;
+  build.seed = rng->Next();
+  return std::make_unique<GpssnDatabase>(MakeSynthetic(data), build);
+}
+
+GpssnQuery RandomQuery(const GpssnDatabase& db, Rng* rng) {
+  GpssnQuery q;
+  q.issuer = static_cast<UserId>(rng->NextBounded(db.ssn().num_users()));
+  q.tau = 2 + static_cast<int>(rng->NextBounded(3));
+  q.gamma = rng->UniformDouble(0.05, 0.6);
+  q.theta = rng->UniformDouble(0.05, 0.6);
+  q.radius = rng->UniformDouble(0.4, 4.0);
+  return q;
+}
+
+// The δ-based road-distance cut is the only heuristic rule: it is repaired
+// a posteriori by re-executing with the cut disabled (the fallback path in
+// GpssnProcessor::Execute). Running the cut+fallback pipeline against a
+// reference execution that never uses the cut exercises exactly that
+// repair logic: any divergence means the fallback failed to fire (or fired
+// and still returned a non-optimal answer).
+TEST_P(QueryStressTest, DeltaCutWithFallbackMatchesUnprunedExecution) {
+  Rng rng(GetParam() * 104729 + 3);
+  for (int instance = 0; instance < 2; ++instance) {
+    auto db = RandomSmallDb(&rng);
+    for (int trial = 0; trial < 4; ++trial) {
+      const GpssnQuery q = RandomQuery(*db, &rng);
+
+      QueryStats cut_stats;
+      auto with_cut = db->Query(q, QueryOptions{}, &cut_stats);
+      ASSERT_TRUE(with_cut.ok()) << with_cut.status().ToString();
+
+      QueryOptions no_cut;
+      no_cut.pruning.road_distance = false;
+      auto reference = db->Query(q, no_cut);
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+      ASSERT_EQ(with_cut->found, reference->found)
+          << "instance=" << instance << " trial=" << trial
+          << " issuer=" << q.issuer << " tau=" << q.tau << " gamma=" << q.gamma
+          << " theta=" << q.theta << " r=" << q.radius << "\nstats: "
+          << cut_stats.ToString();
+      if (reference->found) {
+        ASSERT_NEAR(with_cut->max_dist, reference->max_dist, 1e-9)
+            << "instance=" << instance << " trial=" << trial
+            << " issuer=" << q.issuer;
+      }
+    }
+  }
+}
+
+// ExecuteTopK with k > 1 under randomized inputs: answers must be sorted
+// by ascending max_dist, pairwise distinct as (S, center) pairs, and the
+// head must agree with the single-answer path.
+TEST_P(QueryStressTest, TopKAnswersSortedDistinctAndHeadConsistent) {
+  Rng rng(GetParam() * 15485863 + 11);
+  for (int instance = 0; instance < 2; ++instance) {
+    auto db = RandomSmallDb(&rng);
+    for (int trial = 0; trial < 3; ++trial) {
+      const GpssnQuery q = RandomQuery(*db, &rng);
+      const int k = 2 + static_cast<int>(rng.NextBounded(3));
+
+      auto topk = db->QueryTopK(q, k, QueryOptions{});
+      ASSERT_TRUE(topk.ok()) << topk.status().ToString();
+      auto single = db->Query(q);
+      ASSERT_TRUE(single.ok()) << single.status().ToString();
+
+      EXPECT_LE(topk->size(), static_cast<size_t>(k));
+      ASSERT_EQ(!topk->empty(), single->found)
+          << "instance=" << instance << " trial=" << trial
+          << " issuer=" << q.issuer;
+      for (size_t i = 0; i < topk->size(); ++i) {
+        const GpssnAnswer& a = (*topk)[i];
+        EXPECT_TRUE(a.found);
+        if (i + 1 < topk->size()) {
+          EXPECT_LE(a.max_dist, (*topk)[i + 1].max_dist + 1e-12)
+              << "answers not ascending at " << i;
+        }
+        for (size_t j = i + 1; j < topk->size(); ++j) {
+          EXPECT_FALSE(a.center == (*topk)[j].center &&
+                       a.users == (*topk)[j].users)
+              << "duplicate (S, center) pair at " << i << "," << j;
+        }
+      }
+      if (single->found) {
+        ASSERT_NEAR(topk->front().max_dist, single->max_dist, 1e-9)
+            << "top-1 disagrees with the single-answer path; instance="
+            << instance << " trial=" << trial << " issuer=" << q.issuer;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace gpssn
