@@ -20,9 +20,12 @@
     }                                                                        \
   } while (0)
 
+// Materializes a copy: binding a reference here would dangle when `expr` is
+// `result.status()` of a temporary Result (the temporary dies at the end of
+// the declaration statement, before the ok() test below).
 #define GPSSN_CHECK_OK(expr)                                                 \
   do {                                                                       \
-    const ::gpssn::Status& _gpssn_st = (expr);                               \
+    const ::gpssn::Status _gpssn_st = (expr);                                \
     if (!_gpssn_st.ok()) {                                                   \
       std::fprintf(stderr, "GPSSN_CHECK_OK failed at %s:%d: %s\n", __FILE__, \
                    __LINE__, _gpssn_st.ToString().c_str());                  \

@@ -17,7 +17,7 @@ namespace gpssn {
 /// value could not be produced. Constructing from an OK status is a
 /// programming error (there would be no value to return).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value, mirroring absl::StatusOr ergonomics.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -33,7 +33,10 @@ const char* StatusCodeName(StatusCode code);
 
 /// Outcome of a fallible operation: either OK (cheap, no allocation) or a
 /// code plus message. Copyable and movable; moved-from Status is OK.
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides failures — callers must
+/// test it, propagate it (GPSSN_RETURN_NOT_OK), or assert it
+/// (GPSSN_CHECK_OK).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
