@@ -1,10 +1,19 @@
 #!/usr/bin/env bash
-# Per-PR machine check: the tier-1 verify line plus a ThreadSanitizer build
-# of the concurrency-related tests, so the threading model (immutable
-# shared indexes, per-worker processors, lock-free stat lanes) is validated
-# on every change.
+# Per-PR machine check. Modes mirror the CI jobs (.github/workflows/ci.yml):
 #
-# Usage: scripts/check.sh [--tier1-only|--tsan-only]
+#   tier-1  build + full test suite
+#   tsan    ThreadSanitizer build of the concurrency-related tests
+#   ubsan   UndefinedBehaviorSanitizer build + full test suite
+#   lint    scripts/lint.py (+ its self-test) and clang-tidy over
+#           compile_commands.json when clang-tidy is installed
+#   audit   GPSSN_AUDIT build (index validators at processor construction,
+#           abort-on-violation pruning auditor) + full test suite
+#
+# Usage: scripts/check.sh
+#          [--tier1-only|--tsan-only|--ubsan-only|--lint-only|--audit-only]
+#
+# `--lint-only` is the static-analysis gate: lint.py, clang-tidy (when
+# available), and a UBSan test pass. The default (no flag) runs everything.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,21 +22,21 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 TSAN_TESTS='gpssn_core_concurrency_test|gpssn_core_executor_test|gpssn_ssn_serialize_fuzz_test'
 MODE="${1:-all}"
 case "$MODE" in
-  all|--tier1-only|--tsan-only) ;;
+  all|--tier1-only|--tsan-only|--ubsan-only|--lint-only|--audit-only) ;;
   *)
-    echo "usage: scripts/check.sh [--tier1-only|--tsan-only]" >&2
+    echo "usage: scripts/check.sh [--tier1-only|--tsan-only|--ubsan-only|--lint-only|--audit-only]" >&2
     exit 2
     ;;
 esac
 
-if [[ "$MODE" != "--tsan-only" ]]; then
+run_tier1() {
   echo "=== tier-1: build + full test suite ==="
   cmake -B build -S .
   cmake --build build -j "$JOBS"
   (cd build && ctest --output-on-failure -j "$JOBS")
-fi
+}
 
-if [[ "$MODE" != "--tier1-only" ]]; then
+run_tsan() {
   echo "=== TSAN: concurrency-related tests ==="
   cmake -B build-tsan -S . -DGPSSN_SANITIZE=thread
   # Only the TSAN-relevant test binaries are built, keeping the check fast.
@@ -35,6 +44,54 @@ if [[ "$MODE" != "--tier1-only" ]]; then
     gpssn_core_concurrency_test gpssn_core_executor_test \
     gpssn_ssn_serialize_fuzz_test
   (cd build-tsan && ctest --output-on-failure -R "$TSAN_TESTS")
-fi
+}
+
+run_ubsan() {
+  echo "=== UBSAN: full test suite ==="
+  cmake -B build-ubsan -S . -DGPSSN_SANITIZE=undefined
+  cmake --build build-ubsan -j "$JOBS"
+  (cd build-ubsan && ctest --output-on-failure -j "$JOBS")
+}
+
+run_lint() {
+  echo "=== lint: scripts/lint.py ==="
+  python3 scripts/lint.py
+  python3 scripts/lint.py --self-test
+  if command -v clang-tidy > /dev/null 2>&1; then
+    echo "=== lint: clang-tidy ==="
+    # The default build always exports compile_commands.json
+    # (CMAKE_EXPORT_COMPILE_COMMANDS is on in the top-level CMakeLists).
+    cmake -B build -S . > /dev/null
+    mapfile -t tidy_files < <(git ls-files 'src/*.cc' 'src/**/*.cc')
+    clang-tidy -p build --quiet "${tidy_files[@]}"
+  else
+    echo "clang-tidy not installed; skipping (checks configured in .clang-tidy)"
+  fi
+}
+
+run_audit() {
+  echo "=== audit: GPSSN_AUDIT build + full test suite ==="
+  cmake -B build-audit -S . -DGPSSN_AUDIT=ON
+  cmake --build build-audit -j "$JOBS"
+  (cd build-audit && ctest --output-on-failure -j "$JOBS")
+}
+
+case "$MODE" in
+  all)
+    run_tier1
+    run_tsan
+    run_ubsan
+    run_lint
+    run_audit
+    ;;
+  --tier1-only) run_tier1 ;;
+  --tsan-only) run_tsan ;;
+  --ubsan-only) run_ubsan ;;
+  --lint-only)
+    run_lint
+    run_ubsan
+    ;;
+  --audit-only) run_audit ;;
+esac
 
 echo "OK"

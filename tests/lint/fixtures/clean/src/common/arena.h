@@ -1,0 +1,13 @@
+// Fixture: src/common/ may use raw new/delete (rule scope excludes it).
+
+#ifndef GPSSN_COMMON_ARENA_H_
+#define GPSSN_COMMON_ARENA_H_
+
+namespace gpssn {
+
+inline int* NewBlock() { return new int[16]; }
+inline void FreeBlock(int* p) { delete[] p; }
+
+}  // namespace gpssn
+
+#endif  // GPSSN_COMMON_ARENA_H_

@@ -1,0 +1,27 @@
+// Fixture: every Status/Result call consumes its value; includes are
+// src-root-relative; the one raw allocation is explicitly suppressed.
+
+#include "core/good.h"
+
+namespace gpssn {
+
+Status DoThing() { return Status(); }
+Result<int> Compute() { return Result<int>(); }
+
+void Consumers(const Widget& w) {
+  Status s = DoThing();          // assignment uses the value.
+  (void)s;
+  (void)DoThing();               // explicit discard is allowed.
+  if (true) {
+    auto r = Compute();
+    (void)r;
+  }
+  (void)w.Validate();
+  // A comment mentioning new and delete is not a finding.
+  int* scratch = new int[4];  // gpssn-lint: allow(raw-new-delete)
+  delete[] scratch;           // gpssn-lint: allow(raw-new-delete)
+  const char* text = "calling DoThing(); inside a string is fine";
+  (void)text;
+}
+
+}  // namespace gpssn

@@ -1,0 +1,23 @@
+// Fixture: a fully conforming header.
+
+#ifndef GPSSN_CORE_GOOD_H_
+#define GPSSN_CORE_GOOD_H_
+
+namespace gpssn {
+
+class Status {};
+template <typename T>
+class Result {};
+
+Status DoThing();
+Result<int> Compute();
+
+class Widget {
+ public:
+  Widget(const Widget&) = delete;  // `= delete` is not a raw delete.
+  Status Validate() const;
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_CORE_GOOD_H_

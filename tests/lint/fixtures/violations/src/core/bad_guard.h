@@ -1,0 +1,8 @@
+// Fixture: the guard token does not match the file path.
+
+#ifndef GPSSN_WRONG_NAME_H_
+#define GPSSN_WRONG_NAME_H_
+
+namespace gpssn {}
+
+#endif  // GPSSN_WRONG_NAME_H_

@@ -1,0 +1,3 @@
+// Fixture: no include guard at all.
+
+namespace gpssn {}

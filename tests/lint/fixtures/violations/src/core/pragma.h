@@ -1,0 +1,5 @@
+// Fixture: #pragma once is banned in favour of classic guards.
+
+#pragma once
+
+namespace gpssn {}

@@ -1,0 +1,18 @@
+// Fixture: one violation of each rule that applies to .cc files.
+
+#include "../core/widget.h"
+#include "nope/missing.h"
+#include "core/widget.h"
+
+namespace gpssn {
+
+Status DoThing() { return Status(); }
+
+void Offenders(const Widget& w) {
+  int* p = new int[4];
+  delete[] p;
+  DoThing();
+  w.Compute();
+}
+
+}  // namespace gpssn

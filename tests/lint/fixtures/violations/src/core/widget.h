@@ -1,0 +1,22 @@
+// Fixture: conforming header that supplies Status/Result method names for
+// the ignored-status harvest.
+
+#ifndef GPSSN_CORE_WIDGET_H_
+#define GPSSN_CORE_WIDGET_H_
+
+namespace gpssn {
+
+class Status {};
+template <typename T>
+class Result {};
+
+Status DoThing();
+
+class Widget {
+ public:
+  Result<int> Compute() const;
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_CORE_WIDGET_H_
