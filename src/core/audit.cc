@@ -1,0 +1,665 @@
+#include "core/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "common/macros.h"
+#include "core/scores.h"
+
+namespace gpssn {
+
+namespace {
+
+// Relative slack for comparing a recomputed exact road distance against a
+// pivot bound: both sides are sums of the same edge weights, so anything
+// beyond accumulated rounding is a genuine violation.
+double DistanceSlack(double reference) {
+  return 1e-9 * std::max(1.0, std::abs(reference));
+}
+
+void AddIssue(AuditReport* report, std::string check, int32_t node,
+              std::string detail) {
+  report->issues.push_back(
+      AuditIssue{std::move(check), node, std::move(detail)});
+}
+
+std::string FormatIssue(const AuditIssue& issue) {
+  std::ostringstream os;
+  os << issue.check;
+  if (issue.node >= 0) os << " @node " << issue.node;
+  os << ": " << issue.detail;
+  return os.str();
+}
+
+// Evenly-strided deterministic sample of [0, n): indices 0, s, 2s, ...
+// covering at most `limit` elements.
+template <typename Fn>
+void ForSampledIndices(size_t n, int limit, Fn&& fn) {
+  if (n == 0 || limit <= 0) return;
+  const size_t stride =
+      std::max<size_t>(1, n / static_cast<size_t>(limit));
+  int taken = 0;
+  for (size_t i = 0; i < n && taken < limit; i += stride, ++taken) {
+    fn(i);
+  }
+}
+
+}  // namespace
+
+std::string AuditReport::ToString() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  for (size_t i = 0; i < issues.size(); ++i) {
+    if (i > 0) os << '\n';
+    os << FormatIssue(issues[i]);
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Structural validators.
+// ---------------------------------------------------------------------------
+
+AuditReport AuditRStarTree(const RStarTree& tree) {
+  AuditReport report;
+  if (tree.size() == 0) return report;
+
+  const int max_entries = tree.options().max_entries;
+  // Mirrors RStarTree::min_entries(): 40% of the maximum, the R*-tree
+  // paper's recommendation.
+  const int min_entries = std::max(2, max_entries * 2 / 5);
+
+  std::vector<char> seen(tree.num_nodes(), 0);
+  std::vector<RNodeId> stack = {tree.root()};
+  const int root_level = tree.node(tree.root()).level;
+  int64_t leaf_objects = 0;
+  seen[tree.root()] = 1;
+
+  while (!stack.empty()) {
+    const RNodeId id = stack.back();
+    stack.pop_back();
+    const RTreeNode& node = tree.node(id);
+
+    const int count = static_cast<int>(node.entries.size());
+    if (count > max_entries) {
+      AddIssue(&report, "rtree-fanout-max", id,
+               "holds " + std::to_string(count) + " entries, max is " +
+                   std::to_string(max_entries));
+    }
+    if (id != tree.root() && count < min_entries) {
+      AddIssue(&report, "rtree-fanout-min", id,
+               "holds " + std::to_string(count) + " entries, min fill is " +
+                   std::to_string(min_entries));
+    }
+    if (id == tree.root() && !node.is_leaf() && count < 2) {
+      AddIssue(&report, "rtree-root-fanout", id,
+               "non-leaf root with " + std::to_string(count) + " children");
+    }
+    if (node.level < 0 || node.level > root_level) {
+      AddIssue(&report, "rtree-level-range", id,
+               "level " + std::to_string(node.level) + " outside [0, " +
+                   std::to_string(root_level) + "]");
+    }
+
+    if (node.is_leaf()) {
+      leaf_objects += count;
+      continue;
+    }
+    for (const RTreeEntry& entry : node.entries) {
+      if (entry.id < 0 || entry.id >= tree.num_nodes()) {
+        AddIssue(&report, "rtree-child-id", id,
+                 "child id " + std::to_string(entry.id) + " out of range");
+        continue;
+      }
+      const RTreeNode& child = tree.node(entry.id);
+      // Uniform leaf depth follows inductively from every child sitting
+      // exactly one level below its parent.
+      if (child.level != node.level - 1) {
+        AddIssue(&report, "rtree-level-coherence", entry.id,
+                 "child level " + std::to_string(child.level) +
+                     " under parent level " + std::to_string(node.level));
+      }
+      if (seen[entry.id]) {
+        AddIssue(&report, "rtree-shared-child", entry.id,
+                 "node reachable through more than one parent");
+        continue;
+      }
+      seen[entry.id] = 1;
+      // The parent entry's MBR must contain every entry of the child
+      // (AdjustPath keeps it exactly tight, but containment is the
+      // invariant traversal correctness rests on).
+      Rect child_union;
+      for (const RTreeEntry& ce : child.entries) {
+        child_union.ExtendRect(ce.mbr);
+      }
+      if (!child.entries.empty() && !entry.mbr.ContainsRect(child_union)) {
+        std::ostringstream os;
+        os << "parent entry MBR [" << entry.mbr.min_x << "," << entry.mbr.min_y
+           << "," << entry.mbr.max_x << "," << entry.mbr.max_y
+           << "] does not contain child union [" << child_union.min_x << ","
+           << child_union.min_y << "," << child_union.max_x << ","
+           << child_union.max_y << "]";
+        AddIssue(&report, "rtree-mbr-containment", entry.id, os.str());
+      }
+      stack.push_back(entry.id);
+    }
+  }
+
+  if (leaf_objects != tree.size()) {
+    AddIssue(&report, "rtree-object-count", tree.root(),
+             "leaves hold " + std::to_string(leaf_objects) +
+                 " objects, tree reports " + std::to_string(tree.size()));
+  }
+  return report;
+}
+
+AuditReport AuditPoiIndex(const PoiIndex& index) {
+  AuditReport report = AuditRStarTree(index.tree());
+  const RStarTree& tree = index.tree();
+  if (tree.size() == 0) return report;
+  const int h = index.pivots().num_pivots();
+
+  // Per-POI invariants: sub_K ⊆ sup_K, pivot vector arity.
+  const int num_pois = index.ssn().num_pois();
+  for (PoiId id = 0; id < num_pois; ++id) {
+    const PoiAug& aug = index.poi_aug(id);
+    if (static_cast<int>(aug.pivot_dist.size()) != h) {
+      AddIssue(&report, "poi-pivot-arity", -1,
+               "poi " + std::to_string(id) + " carries " +
+                   std::to_string(aug.pivot_dist.size()) + " pivot distances, " +
+                   std::to_string(h) + " pivots exist");
+      continue;
+    }
+    if (!std::includes(aug.sup_keywords.begin(), aug.sup_keywords.end(),
+                       aug.sub_keywords.begin(), aug.sub_keywords.end())) {
+      AddIssue(&report, "poi-sub-in-sup", -1,
+               "poi " + std::to_string(id) +
+                   ": sub_K is not a subset of sup_K");
+    }
+  }
+
+  // Node aggregates, bottom-up via DFS: pivot boxes contain member POI
+  // distances, signatures cover member keywords, counts add up.
+  struct Frame {
+    RNodeId id;
+    bool expanded;
+  };
+  std::vector<Frame> stack = {{tree.root(), false}};
+  std::vector<int64_t> subtree_count(tree.num_nodes(), 0);
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const RTreeNode& node = tree.node(frame.id);
+    if (!frame.expanded && !node.is_leaf()) {
+      frame.expanded = true;
+      for (const RTreeEntry& entry : node.entries) {
+        if (entry.id >= 0 && entry.id < tree.num_nodes()) {
+          stack.push_back({entry.id, false});
+        }
+      }
+      continue;
+    }
+    const RNodeId id = frame.id;
+    stack.pop_back();
+    const PoiNodeAug& aug = index.node_aug(id);
+    if (static_cast<int>(aug.lb_pivot.size()) != h ||
+        static_cast<int>(aug.ub_pivot.size()) != h) {
+      AddIssue(&report, "poi-node-pivot-arity", id, "pivot bound arity wrong");
+      continue;
+    }
+    int64_t count = 0;
+    if (node.is_leaf()) {
+      count = static_cast<int64_t>(node.entries.size());
+      for (const RTreeEntry& entry : node.entries) {
+        const PoiAug& poi = index.poi_aug(entry.id);
+        for (int k = 0; k < h; ++k) {
+          const double d = poi.pivot_dist[k];
+          if (!std::isfinite(d)) continue;
+          if (d < aug.lb_pivot[k] - DistanceSlack(d) ||
+              d > aug.ub_pivot[k] + DistanceSlack(d)) {
+            std::ostringstream os;
+            os << "poi " << entry.id << " pivot " << k << " distance " << d
+               << " outside node box [" << aug.lb_pivot[k] << ", "
+               << aug.ub_pivot[k] << "]";
+            AddIssue(&report, "poi-node-pivot-box", id, os.str());
+          }
+        }
+        for (KeywordId kw : poi.sup_keywords) {
+          if (!aug.v_sup.MayContain(kw)) {
+            AddIssue(&report, "poi-node-signature", id,
+                     "node signature misses keyword " + std::to_string(kw) +
+                         " of poi " + std::to_string(entry.id));
+            break;
+          }
+        }
+      }
+    } else {
+      for (const RTreeEntry& entry : node.entries) {
+        count += subtree_count[entry.id];
+        const PoiNodeAug& child = index.node_aug(entry.id);
+        for (int k = 0; k < h; ++k) {
+          if (child.lb_pivot[k] < aug.lb_pivot[k] - DistanceSlack(1.0) ||
+              child.ub_pivot[k] > aug.ub_pivot[k] + DistanceSlack(1.0)) {
+            AddIssue(&report, "poi-node-pivot-nesting", id,
+                     "child " + std::to_string(entry.id) + " pivot " +
+                         std::to_string(k) + " box not nested in parent");
+          }
+        }
+      }
+    }
+    subtree_count[id] = count;
+    if (aug.subtree_pois != count) {
+      AddIssue(&report, "poi-node-subtree-count", id,
+               "subtree_pois = " + std::to_string(aug.subtree_pois) +
+                   ", actual = " + std::to_string(count));
+    }
+  }
+  return report;
+}
+
+AuditReport AuditSocialIndex(const SocialIndex& index) {
+  AuditReport report;
+  const SpatialSocialNetwork& ssn = index.ssn();
+  const SocialNetwork& social = ssn.social();
+  const int m = social.num_users();
+  const int d = social.num_topics();
+  const int l = index.social_pivots().num_pivots();
+  const int h = index.road_pivots().num_pivots();
+
+  // --- Partition disjointness / completeness over the leaf user lists.
+  std::vector<SNodeId> owner(m, -1);
+  std::vector<char> reachable(index.num_nodes(), 0);
+  std::vector<SNodeId> stack = {index.root()};
+  reachable[index.root()] = 1;
+  while (!stack.empty()) {
+    const SNodeId id = stack.back();
+    stack.pop_back();
+    const SocialIndexNode& node = index.node(id);
+    if (node.is_leaf()) {
+      if (!node.children.empty()) {
+        AddIssue(&report, "social-leaf-children", id,
+                 "leaf carries " + std::to_string(node.children.size()) +
+                     " children");
+      }
+      for (UserId u : node.users) {
+        if (u < 0 || u >= m) {
+          AddIssue(&report, "social-user-range", id,
+                   "user id " + std::to_string(u) + " out of range");
+          continue;
+        }
+        if (owner[u] != -1) {
+          AddIssue(&report, "social-partition-disjoint", id,
+                   "user " + std::to_string(u) + " already owned by leaf " +
+                       std::to_string(owner[u]));
+          continue;
+        }
+        owner[u] = id;
+        if (index.leaf_of_user(u) != id) {
+          AddIssue(&report, "social-leaf-of-user", id,
+                   "leaf_of_user(" + std::to_string(u) + ") = " +
+                       std::to_string(index.leaf_of_user(u)) +
+                       " but the user sits in this leaf");
+        }
+      }
+    } else {
+      if (!node.users.empty()) {
+        AddIssue(&report, "social-internal-users", id,
+                 "internal node carries a user list");
+      }
+      for (SNodeId child : node.children) {
+        if (child < 0 || child >= index.num_nodes()) {
+          AddIssue(&report, "social-child-id", id,
+                   "child id " + std::to_string(child) + " out of range");
+          continue;
+        }
+        if (index.node(child).level != node.level - 1) {
+          AddIssue(&report, "social-level-coherence", child,
+                   "child level " + std::to_string(index.node(child).level) +
+                       " under parent level " + std::to_string(node.level));
+        }
+        if (reachable[child]) {
+          AddIssue(&report, "social-shared-child", child,
+                   "node reachable through more than one parent");
+          continue;
+        }
+        reachable[child] = 1;
+        stack.push_back(child);
+      }
+    }
+  }
+  for (UserId u = 0; u < m; ++u) {
+    if (owner[u] == -1) {
+      AddIssue(&report, "social-partition-complete", -1,
+               "user " + std::to_string(u) + " reachable from no leaf");
+    }
+  }
+
+  // --- Per-node aggregate bounds, checked directly against the members
+  // (DFS user collection per node is O(height · m) total: fine for audits).
+  std::vector<UserId> members;
+  for (SNodeId id = 0; id < index.num_nodes(); ++id) {
+    if (!reachable[id]) continue;
+    const SocialIndexNode& node = index.node(id);
+    if (static_cast<int>(node.lb_w.size()) != d ||
+        static_cast<int>(node.ub_w.size()) != d ||
+        static_cast<int>(node.lb_sp.size()) != l ||
+        static_cast<int>(node.ub_sp.size()) != l ||
+        static_cast<int>(node.lb_rp.size()) != h ||
+        static_cast<int>(node.ub_rp.size()) != h) {
+      AddIssue(&report, "social-bound-arity", id,
+               "lb/ub vector arity does not match (d, l, h)");
+      continue;
+    }
+    members.clear();
+    std::vector<SNodeId> dfs = {id};
+    while (!dfs.empty()) {
+      const SocialIndexNode& cur = index.node(dfs.back());
+      dfs.pop_back();
+      if (cur.is_leaf()) {
+        members.insert(members.end(), cur.users.begin(), cur.users.end());
+      } else {
+        dfs.insert(dfs.end(), cur.children.begin(), cur.children.end());
+      }
+    }
+    if (node.subtree_users != static_cast<int>(members.size())) {
+      AddIssue(&report, "social-subtree-count", id,
+               "subtree_users = " + std::to_string(node.subtree_users) +
+                   ", actual = " + std::to_string(members.size()));
+    }
+    for (UserId u : members) {
+      if (u < 0 || u >= m) continue;  // Reported above.
+      const auto w = social.Interests(u);
+      for (int f = 0; f < d; ++f) {
+        if (w[f] < node.lb_w[f] || w[f] > node.ub_w[f]) {
+          std::ostringstream os;
+          os << "user " << u << " topic " << f << " weight " << w[f]
+             << " outside box [" << node.lb_w[f] << ", " << node.ub_w[f]
+             << "] (Eqs. 9-10)";
+          AddIssue(&report, "social-interest-box", id, os.str());
+          f = d;  // One report per (node, user) pair is enough.
+        }
+      }
+      for (int k = 0; k < l; ++k) {
+        const int hops = index.social_pivots().UserToPivot(u, k);
+        if (hops < node.lb_sp[k] || hops > node.ub_sp[k]) {
+          AddIssue(&report, "social-pivot-hop-box", id,
+                   "user " + std::to_string(u) + " pivot " +
+                       std::to_string(k) + " hops outside box (Eqs. 11-12)");
+          break;
+        }
+      }
+      const std::vector<double>& rp = index.user_road_pivot_dists(u);
+      for (int k = 0; k < h; ++k) {
+        if (!std::isfinite(rp[k])) continue;
+        if (rp[k] < node.lb_rp[k] - DistanceSlack(rp[k]) ||
+            rp[k] > node.ub_rp[k] + DistanceSlack(rp[k])) {
+          AddIssue(&report, "social-road-pivot-box", id,
+                   "user " + std::to_string(u) + " road pivot " +
+                       std::to_string(k) + " distance outside box "
+                       "(Eqs. 13-14)");
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// PruningAuditor.
+// ---------------------------------------------------------------------------
+
+const char* PruneRuleName(PruneRule rule) {
+  switch (rule) {
+    case PruneRule::kUserInterest:
+      return "user-interest (Lemma 3)";
+    case PruneRule::kUserSocialDistance:
+      return "user-social-distance (Lemma 4)";
+    case PruneRule::kSocialNodeInterest:
+      return "social-node-interest (Lemma 8)";
+    case PruneRule::kSocialNodeDistance:
+      return "social-node-distance (Lemma 9)";
+    case PruneRule::kPoiMatch:
+      return "poi-match (Lemma 1)";
+    case PruneRule::kRoadNodeMatch:
+      return "road-node-match (Lemma 6)";
+    case PruneRule::kPoiDistanceBound:
+      return "poi-distance-bound (Eq. 17)";
+    case PruneRule::kPairDistanceBound:
+      return "pair-distance-bound (Lemma 5)";
+    case PruneRule::kNumRules:
+      break;
+  }
+  return "unknown";
+}
+
+PruningAuditor::PruningAuditor(const PoiIndex* poi_index,
+                               const SocialIndex* social_index,
+                               const PruningAuditorOptions& options)
+    : poi_index_(poi_index),
+      social_index_(social_index),
+      options_(options),
+      bfs_(&social_index->ssn().social()),
+      engine_(&poi_index->ssn().road()),
+      locator_(&poi_index->ssn().road(), &poi_index->ssn().pois()) {
+  GPSSN_CHECK(poi_index != nullptr && social_index != nullptr);
+  GPSSN_CHECK(&poi_index->ssn() == &social_index->ssn());
+  GPSSN_CHECK(options_.sample_period >= 1);
+}
+
+bool PruningAuditor::Sample(PruneRule rule) {
+  ++events_;
+  const uint64_t n = counters_[static_cast<size_t>(rule)]++;
+  if (n % options_.sample_period != 0) return false;
+  ++samples_;
+  return true;
+}
+
+void PruningAuditor::Report(PruneRule rule, int32_t node, std::string detail) {
+  AuditIssue issue{PruneRuleName(rule), node, std::move(detail)};
+  if (options_.abort_on_violation) {
+    std::fprintf(stderr, "UNSOUND PRUNE — %s\n", FormatIssue(issue).c_str());
+    std::abort();
+  }
+  issues_.push_back(std::move(issue));
+}
+
+void PruningAuditor::EnsureIssuerBfs(const QueryUserContext& ctx) {
+  const UserId issuer = ctx.query.issuer;
+  const int bound = ctx.query.tau - 1;
+  if (bfs_issuer_ == issuer && bfs_bound_ == bound) return;
+  bfs_.Run(issuer, bound);
+  bfs_issuer_ = issuer;
+  bfs_bound_ = bound;
+}
+
+void PruningAuditor::CollectSubtreeUsers(SNodeId node,
+                                         std::vector<UserId>* out) const {
+  std::vector<SNodeId> stack = {node};
+  while (!stack.empty()) {
+    const SocialIndexNode& cur = social_index_->node(stack.back());
+    stack.pop_back();
+    if (cur.is_leaf()) {
+      out->insert(out->end(), cur.users.begin(), cur.users.end());
+    } else {
+      stack.insert(stack.end(), cur.children.begin(), cur.children.end());
+    }
+  }
+}
+
+void PruningAuditor::CollectSubtreePois(RNodeId node,
+                                        std::vector<PoiId>* out) const {
+  const RStarTree& tree = poi_index_->tree();
+  std::vector<RNodeId> stack = {node};
+  while (!stack.empty()) {
+    const RTreeNode& cur = tree.node(stack.back());
+    stack.pop_back();
+    for (const RTreeEntry& entry : cur.entries) {
+      if (cur.is_leaf()) {
+        out->push_back(entry.id);
+      } else {
+        stack.push_back(entry.id);
+      }
+    }
+  }
+}
+
+void PruningAuditor::OnUserPruned(const QueryUserContext& ctx, UserId u,
+                                  PruneRule rule) {
+  if (!Sample(rule)) return;
+  const SocialNetwork& social = social_index_->ssn().social();
+  switch (rule) {
+    case PruneRule::kUserInterest: {
+      // Lemma 3 claims Interest_Score(u_q, u) < γ; recompute it exactly.
+      const double score =
+          UserSimilarity(ctx.query.metric, ctx.w_q, social.Interests(u));
+      if (score >= ctx.query.gamma) {
+        std::ostringstream os;
+        os << "user " << u << " pruned by interest but exact score " << score
+           << " >= gamma " << ctx.query.gamma;
+        Report(rule, -1, os.str());
+      }
+      break;
+    }
+    case PruneRule::kUserSocialDistance: {
+      // Lemma 4 claims dist_SN(u_q, u) >= τ; BFS gives the exact hops.
+      EnsureIssuerBfs(ctx);
+      const int hops = bfs_.Hops(u);
+      if (hops < ctx.query.tau) {
+        std::ostringstream os;
+        os << "user " << u << " pruned by social distance but is " << hops
+           << " hops from the issuer, tau = " << ctx.query.tau;
+        Report(rule, -1, os.str());
+      }
+      break;
+    }
+    default:
+      GPSSN_CHECK(false);
+  }
+}
+
+void PruningAuditor::OnSocialNodePruned(const QueryUserContext& ctx,
+                                        SNodeId node, PruneRule rule) {
+  if (!Sample(rule)) return;
+  const SocialNetwork& social = social_index_->ssn().social();
+  std::vector<UserId> members;
+  CollectSubtreeUsers(node, &members);
+  switch (rule) {
+    case PruneRule::kSocialNodeInterest:
+      // Lemma 8: a pruned node may contain NO user with score >= γ.
+      ForSampledIndices(
+          members.size(), options_.max_members_checked, [&](size_t i) {
+            const UserId u = members[i];
+            const double score = UserSimilarity(ctx.query.metric, ctx.w_q,
+                                                social.Interests(u));
+            if (score >= ctx.query.gamma) {
+              std::ostringstream os;
+              os << "node pruned by interest box but member user " << u
+                 << " has exact score " << score << " >= gamma "
+                 << ctx.query.gamma;
+              Report(rule, node, os.str());
+            }
+          });
+      break;
+    case PruneRule::kSocialNodeDistance:
+      // Lemma 9: no member may be within τ−1 hops of the issuer.
+      EnsureIssuerBfs(ctx);
+      ForSampledIndices(
+          members.size(), options_.max_members_checked, [&](size_t i) {
+            const UserId u = members[i];
+            const int hops = bfs_.Hops(u);
+            if (hops < ctx.query.tau) {
+              std::ostringstream os;
+              os << "node pruned by hop bound but member user " << u << " is "
+                 << hops << " hops from the issuer, tau = " << ctx.query.tau;
+              Report(rule, node, os.str());
+            }
+          });
+      break;
+    default:
+      GPSSN_CHECK(false);
+  }
+}
+
+void PruningAuditor::OnPoiMatchPruned(const QueryUserContext& ctx, PoiId poi) {
+  if (!Sample(PruneRule::kPoiMatch)) return;
+  // Lemma 1: recompute the 2·r_max candidate superset from scratch — the
+  // stored sup_K must cover it, and the issuer's match score against it
+  // must be below θ for the prune to be sound.
+  const SpatialSocialNetwork& ssn = poi_index_->ssn();
+  const double sup_radius = 2.0 * poi_index_->options().r_max;
+  std::vector<PoiId> ball =
+      locator_.Ball(ssn.poi(poi).position, sup_radius, &engine_);
+  const std::vector<KeywordId> sup = UnionKeywords(ssn, ball);
+  const double score = MatchScore(ctx.w_q, sup);
+  if (score >= ctx.query.theta) {
+    std::ostringstream os;
+    os << "poi " << poi << " pruned by match score but the recomputed "
+       << "B(o, 2 r_max) keyword union scores " << score << " >= theta "
+       << ctx.query.theta;
+    Report(PruneRule::kPoiMatch, -1, os.str());
+  }
+}
+
+void PruningAuditor::OnRoadNodeMatchPruned(const QueryUserContext& ctx,
+                                           RNodeId node) {
+  if (!Sample(PruneRule::kRoadNodeMatch)) return;
+  // Lemma 6: if the node's bit-vector upper bound is below θ, then every
+  // POI underneath must have an exact sup_K match score below θ.
+  std::vector<PoiId> members;
+  CollectSubtreePois(node, &members);
+  ForSampledIndices(
+      members.size(), options_.max_members_checked, [&](size_t i) {
+        const PoiId o = members[i];
+        const double score =
+            MatchScore(ctx.w_q, poi_index_->poi_aug(o).sup_keywords);
+        if (score >= ctx.query.theta) {
+          std::ostringstream os;
+          os << "node pruned by signature bound but member poi " << o
+             << " has exact sup_K score " << score << " >= theta "
+             << ctx.query.theta;
+          Report(PruneRule::kRoadNodeMatch, node, os.str());
+        }
+      });
+}
+
+void PruningAuditor::OnPoiDistanceBound(const QueryUserContext& ctx, PoiId poi,
+                                        double lb) {
+  if (!Sample(PruneRule::kPoiDistanceBound)) return;
+  if (lb <= 0.0) return;
+  // Eq. 17 claims dist_RN(u_q, o) >= lb. A Dijkstra bounded by lb either
+  // proves the claim (no path within the bound) or produces the violating
+  // exact distance.
+  const SpatialSocialNetwork& ssn = poi_index_->ssn();
+  const double exact = engine_.PositionToPosition(
+      ssn.user_home(ctx.query.issuer), ssn.poi(poi).position, lb);
+  if (exact < lb - DistanceSlack(lb)) {
+    std::ostringstream os;
+    os << "poi " << poi << " distance lower bound " << lb
+       << " exceeds the exact issuer distance " << exact;
+    Report(PruneRule::kPoiDistanceBound, -1, os.str());
+  }
+}
+
+void PruningAuditor::OnPairDistanceBound(const QueryUserContext& /*ctx*/,
+                                         UserId user, PoiId center,
+                                         double lb) {
+  if (!Sample(PruneRule::kPairDistanceBound)) return;
+  if (lb <= 0.0) return;
+  // Lemma 5 claims dist_RN(user, center) >= lb for the pivot bound used by
+  // the refinement skip.
+  const SpatialSocialNetwork& ssn = poi_index_->ssn();
+  const double exact = engine_.PositionToPosition(
+      ssn.user_home(user), ssn.poi(center).position, lb);
+  if (exact < lb - DistanceSlack(lb)) {
+    std::ostringstream os;
+    os << "pair (user " << user << ", poi " << center << ") lower bound "
+       << lb << " exceeds the exact distance " << exact;
+    Report(PruneRule::kPairDistanceBound, -1, os.str());
+  }
+}
+
+}  // namespace gpssn

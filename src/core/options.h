@@ -14,6 +14,8 @@
 
 namespace gpssn {
 
+class PruningAuditor;  // core/audit.h
+
 /// Cooperative per-query deadline. The processor polls Expired() at its
 /// descent-loop, heap-round, and refinement boundaries and abandons the
 /// query with a DeadlineExceeded status once it fires. Default-constructed
@@ -103,6 +105,13 @@ struct QueryOptions {
   /// same loop boundaries as the deadline; fires a Cancelled status. The
   /// pointee must outlive the query.
   const std::atomic<bool>* cancel = nullptr;
+  /// Optional pruning-soundness auditor (core/audit.h): the processor
+  /// notifies it on every pruned candidate and it re-tests a sample against
+  /// the brute-force predicates. Null disables auditing; GPSSN_AUDIT builds
+  /// install a per-processor default when this is null. Not thread-safe —
+  /// do not share one auditor across concurrent queries. The pointee must
+  /// outlive the query.
+  PruningAuditor* auditor = nullptr;
 };
 
 }  // namespace gpssn

@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "common/timer.h"
+#include "core/audit.h"
 #include "core/pruning.h"
 #include "core/refinement.h"
 #include "core/scores.h"
@@ -44,6 +45,24 @@ GpssnProcessor::GpssnProcessor(const PoiIndex* poi_index,
       locator_(&poi_index->ssn().road(), &poi_index->ssn().pois()) {
   GPSSN_CHECK(poi_index != nullptr && social_index != nullptr);
   GPSSN_CHECK(&poi_index->ssn() == &social_index->ssn());
+#ifdef GPSSN_AUDIT
+  // Audit builds: refuse to run queries over structurally corrupt indexes,
+  // and default every query to the abort-on-violation soundness sampler.
+  const AuditReport poi_report = AuditPoiIndex(*poi_index);
+  if (!poi_report.ok()) {
+    std::fprintf(stderr, "I_R audit failed:\n%s\n",
+                 poi_report.ToString().c_str());
+    std::abort();
+  }
+  const AuditReport social_report = AuditSocialIndex(*social_index);
+  if (!social_report.ok()) {
+    std::fprintf(stderr, "I_S audit failed:\n%s\n",
+                 social_report.ToString().c_str());
+    std::abort();
+  }
+  default_auditor_ =
+      std::make_unique<PruningAuditor>(poi_index, social_index);
+#endif
 }
 
 Result<GpssnAnswer> GpssnProcessor::Execute(const GpssnQuery& query,
@@ -198,6 +217,12 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
   BufferPool pool(options.buffer_pool_pages);
   QueryUserContext ctx(query, *social_index_);
 
+  // Pruning-soundness auditor (core/audit.h): caller-supplied, or the
+  // processor default in GPSSN_AUDIT builds, or null (one pointer test per
+  // prune event — negligible).
+  PruningAuditor* auditor =
+      options.auditor != nullptr ? options.auditor : default_auditor_.get();
+
   // Exact hop labels around u_q (Lemma 4 with exact distances): any member
   // of a connected τ-group containing u_q is within τ−1 hops of u_q, so a
   // bounded BFS gives an exact object-level social-distance filter. It runs
@@ -267,11 +292,13 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
           const PoiAug& aug = poi_index_->poi_aug(e.id);
           if (flags.match_score && PrunePoiMatch(ctx, aug)) {
             ++stats->pois_pruned_match;
+            if (auditor != nullptr) auditor->OnPoiMatchPruned(ctx, e.id);
             continue;
           }
           const double lb = LbDistToPoi(ctx, aug);
           if (flags.road_distance && lb > delta) {
             ++stats->pois_pruned_distance;
+            if (auditor != nullptr) auditor->OnPoiDistanceBound(ctx, e.id, lb);
             continue;
           }
           r_cand.push_back(e.id);
@@ -288,6 +315,7 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
           if (flags.match_score && PruneRoadNodeMatch(ctx, child)) {
             ++stats->road_nodes_pruned_match;
             stats->pois_pruned_at_index_level += child.subtree_pois;
+            if (auditor != nullptr) auditor->OnRoadNodeMatchPruned(ctx, e.id);
             continue;
           }
           const double lb =
@@ -326,11 +354,19 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
         if (flags.interest_score && PruneSocialNodeInterest(ctx, child)) {
           ++stats->social_nodes_pruned_interest;
           stats->users_pruned_at_index_level += child.subtree_users;
+          if (auditor != nullptr) {
+            auditor->OnSocialNodePruned(ctx, child_id,
+                                        PruneRule::kSocialNodeInterest);
+          }
           continue;
         }
         if (flags.social_distance && PruneSocialNodeDistance(ctx, child)) {
           ++stats->social_nodes_pruned_distance;
           stats->users_pruned_at_index_level += child.subtree_users;
+          if (auditor != nullptr) {
+            auditor->OnSocialNodePruned(ctx, child_id,
+                                        PruneRule::kSocialNodeDistance);
+          }
           continue;
         }
         next_frontier.push_back(child_id);
@@ -358,16 +394,25 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
         continue;
       }
       // The hop filter is cheaper (two array lookups) than the interest dot
-      // product, so it runs first.
-      if (flags.social_distance &&
-          (PruneUserSocialDistance(ctx, social_index_->social_pivots(), u) ||
-           bfs_.Hops(u) >= query.tau)) {
-        ++stats->users_pruned_distance;
-        continue;
+      // product, so it runs first. Only the pivot lower bound (Lemma 4) is
+      // audit-relevant; the BFS labels are exact by construction.
+      if (flags.social_distance) {
+        const bool pivot_pruned =
+            PruneUserSocialDistance(ctx, social_index_->social_pivots(), u);
+        if (pivot_pruned || bfs_.Hops(u) >= query.tau) {
+          ++stats->users_pruned_distance;
+          if (pivot_pruned && auditor != nullptr) {
+            auditor->OnUserPruned(ctx, u, PruneRule::kUserSocialDistance);
+          }
+          continue;
+        }
       }
       if (flags.interest_score &&
           PruneUserInterest(ctx, social.Interests(u))) {
         ++stats->users_pruned_interest;
+        if (auditor != nullptr) {
+          auditor->OnUserPruned(ctx, u, PruneRule::kUserInterest);
+        }
         continue;
       }
       user_cands.push_back(u);
@@ -412,7 +457,9 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
       const auto& rp = social_index_->user_road_pivot_dists(u);
       bool reachable = false;
       for (PoiId c : r_cand) {
-        if (LbUserPoiDist(rp, poi_index_->poi_aug(c)) <= delta) {
+        const double lb = LbUserPoiDist(rp, poi_index_->poi_aug(c));
+        if (auditor != nullptr) auditor->OnPairDistanceBound(ctx, u, c, lb);
+        if (lb <= delta) {
           reachable = true;
           break;
         }
@@ -576,10 +623,12 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
       // Pivot lower bound of the pair objective (Lemma 5).
       double pair_lb = center_lb;
       for (UserId u : group) {
-        pair_lb = std::max(
-            pair_lb,
-            LbUserPoiDist(social_index_->user_road_pivot_dists(u),
-                          center_aug));
+        const double user_lb = LbUserPoiDist(
+            social_index_->user_road_pivot_dists(u), center_aug);
+        if (auditor != nullptr) {
+          auditor->OnPairDistanceBound(ctx, u, c, user_lb);
+        }
+        pair_lb = std::max(pair_lb, user_lb);
       }
       if (pair_lb >= bound()) continue;
 

@@ -17,9 +17,11 @@
 #ifndef GPSSN_CORE_QUERY_H_
 #define GPSSN_CORE_QUERY_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
+#include "core/audit.h"
 #include "core/options.h"
 #include "core/stats.h"
 #include "index/poi_index.h"
@@ -44,7 +46,11 @@ struct GpssnAnswer {
 class GpssnProcessor {
  public:
   /// Both indexes must be built over the same SpatialSocialNetwork and
-  /// must outlive the processor.
+  /// must outlive the processor. In GPSSN_AUDIT builds the constructor
+  /// additionally runs the structural validators of core/audit.h over both
+  /// indexes (aborting with a node-level diagnostic on corruption) and
+  /// installs a default sampling PruningAuditor used whenever
+  /// QueryOptions::auditor is null.
   GpssnProcessor(const PoiIndex* poi_index, const SocialIndex* social_index);
 
   /// Answers one GP-SSN query. On success `stats` (optional) carries CPU
@@ -80,6 +86,9 @@ class GpssnProcessor {
   DijkstraEngine engine_;
   BfsEngine bfs_;
   PoiLocator locator_;
+  // Non-null only in GPSSN_AUDIT builds: the default pruning-soundness
+  // auditor (abort-on-violation) used when the caller supplies none.
+  std::unique_ptr<PruningAuditor> default_auditor_;
 };
 
 }  // namespace gpssn

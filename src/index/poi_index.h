@@ -92,6 +92,15 @@ class PoiIndex {
 
   int height() const { return tree_.height(); }
 
+  /// Corruption-injection hooks for the audit tests (core/audit.h): grant
+  /// mutable access to augmentations / the tree so a test can break an
+  /// invariant on purpose and assert the validator localizes it (or that a
+  /// loosened bound trips the pruning-soundness auditor). Never call
+  /// outside tests.
+  PoiAug& mutable_poi_aug_for_test(PoiId id) { return poi_aug_[id]; }
+  PoiNodeAug& mutable_node_aug_for_test(RNodeId id) { return node_aug_[id]; }
+  RStarTree& mutable_tree_for_test() { return tree_; }
+
   /// Dynamic maintenance: registers the POI `id` that was just appended to
   /// the underlying network via SpatialSocialNetwork::AddPoi. Updates the
   /// new POI's augmentations, patches the sup_K / sub_K sets of every POI

@@ -68,6 +68,12 @@ class RStarTree {
   RNodeId root() const { return root_; }
   const RTreeNode& node(RNodeId id) const { return nodes_[id]; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Options& options() const { return options_; }
+
+  /// Corruption-injection hook for the audit tests (core/audit.h): grants
+  /// mutable access to a node so a test can break an invariant on purpose
+  /// and assert the validator localizes it. Never call outside tests.
+  RTreeNode& mutable_node_for_test(RNodeId id) { return nodes_[id]; }
 
   /// MBR of the whole tree (empty rect when the tree is empty).
   Rect bounds() const;

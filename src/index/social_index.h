@@ -83,6 +83,11 @@ class SocialIndex {
   /// Leaf node holding user u.
   SNodeId leaf_of_user(UserId u) const { return leaf_of_user_[u]; }
 
+  /// Corruption-injection hook for the audit tests (core/audit.h): grants
+  /// mutable access to a node so a test can break an invariant on purpose
+  /// and assert the validator localizes it. Never call outside tests.
+  SocialIndexNode& mutable_node_for_test(SNodeId id) { return nodes_[id]; }
+
   /// Dynamic maintenance: user u's interest vector changed in the
   /// underlying network (SpatialSocialNetwork::UpdateUserInterests).
   /// Recomputes the interest lb/ub boxes exactly along the leaf-to-root
