@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <memory>
+#include <utility>
 
 #include "bench/bench_util.h"
 #include "core/pruning.h"
@@ -11,6 +13,8 @@
 #include "index/rstar_tree.h"
 #include "roadnet/astar.h"
 #include "roadnet/contraction_hierarchy.h"
+#include "roadnet/distance_backend.h"
+#include "roadnet/distance_cache.h"
 #include "roadnet/road_generator.h"
 #include "roadnet/shortest_path.h"
 #include "socialnet/bfs.h"
@@ -136,6 +140,103 @@ void BM_PointToPointCh(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PointToPointCh);
+
+// One-to-many kernel shoot-out behind the pluggable DistanceBackend
+// interface: the refinement loop's inner operation (one user home -> all
+// candidate POIs), as bounded Dijkstra, as a CH bucket query, and as a
+// warm-cache row read (the cost a repeated user pays instead of either).
+constexpr int kOneToManyTargets = 64;
+
+const std::vector<Poi>& SharedBenchPois(int n) {
+  static auto* cache = new std::map<int, std::vector<Poi>>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    const RoadNetwork& g = SharedRoad(n);
+    Rng rng(77);
+    std::vector<Poi> pois(kOneToManyTargets);
+    for (int i = 0; i < kOneToManyTargets; ++i) {
+      pois[i].id = i;
+      pois[i].position =
+          EdgePosition{static_cast<EdgeId>(rng.NextBounded(g.num_edges())),
+                       rng.UniformDouble()};
+      pois[i].location = g.PositionPoint(pois[i].position);
+    }
+    it = cache->emplace(n, std::move(pois)).first;
+  }
+  return it->second;
+}
+
+const DistanceBackend& SharedBackend(DistanceBackendKind kind, int n) {
+  static auto* cache =
+      new std::map<std::pair<int, int>, std::unique_ptr<DistanceBackend>>();
+  const auto key = std::make_pair(static_cast<int>(kind), n);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    const RoadNetwork& g = SharedRoad(n);
+    const std::vector<Poi>& pois = SharedBenchPois(n);
+    auto backend = kind == DistanceBackendKind::kContractionHierarchy
+                       ? MakeChBackend(&g, &pois)
+                       : MakeDijkstraBackend(&g, &pois);
+    it = cache->emplace(key, std::move(backend)).first;
+  }
+  return *it->second;
+}
+
+void RunOneToMany(benchmark::State& state, DistanceBackendKind kind) {
+  const int n = static_cast<int>(state.range(0));
+  const RoadNetwork& g = SharedRoad(n);
+  const auto engine = SharedBackend(kind, n).CreateEngine();
+  std::vector<EdgePosition> targets;
+  targets.reserve(kOneToManyTargets);
+  for (const Poi& p : SharedBenchPois(n)) targets.push_back(p.position);
+  engine->SetTargets(targets);
+  std::vector<double> row(targets.size());
+  Rng rng(31);
+  for (auto _ : state) {
+    const EdgePosition src{static_cast<EdgeId>(rng.NextBounded(g.num_edges())),
+                           rng.UniformDouble()};
+    engine->SourceToTargets(src, kInfDistance, row.data());
+    benchmark::DoNotOptimize(row[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * targets.size());
+}
+
+void BM_OneToManyBoundedDijkstra(benchmark::State& state) {
+  RunOneToMany(state, DistanceBackendKind::kDijkstra);
+}
+BENCHMARK(BM_OneToManyBoundedDijkstra)
+    ->Arg(10000)->Arg(20000)->Arg(30000)->Arg(40000)->Arg(50000);
+
+void BM_OneToManyChBucket(benchmark::State& state) {
+  RunOneToMany(state, DistanceBackendKind::kContractionHierarchy);
+}
+BENCHMARK(BM_OneToManyChBucket)
+    ->Arg(10000)->Arg(20000)->Arg(30000)->Arg(40000)->Arg(50000);
+
+void BM_OneToManyCacheWarm(benchmark::State& state) {
+  // The cache read path is road-size independent; the sweep arg only keeps
+  // the three kernels comparable row for row in the report.
+  DistanceCache cache;
+  constexpr UserId kUsers = 256;
+  for (UserId u = 0; u < kUsers; ++u) {
+    for (int i = 0; i < kOneToManyTargets; ++i) {
+      cache.Insert(u, i, kInfDistance, static_cast<double>(u + i));
+    }
+  }
+  std::vector<double> row(kOneToManyTargets);
+  UserId u = 0;
+  for (auto _ : state) {
+    bool all = true;
+    for (int i = 0; i < kOneToManyTargets; ++i) {
+      all = cache.Lookup(u, i, kInfDistance, &row[i]) && all;
+    }
+    benchmark::DoNotOptimize(all);
+    u = (u + 1) % kUsers;
+  }
+  state.SetItemsProcessed(state.iterations() * kOneToManyTargets);
+}
+BENCHMARK(BM_OneToManyCacheWarm)
+    ->Arg(10000)->Arg(20000)->Arg(30000)->Arg(40000)->Arg(50000);
 
 void BM_RStarTreeInsert(benchmark::State& state) {
   Rng rng(7);

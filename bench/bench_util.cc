@@ -99,6 +99,12 @@ void AddStats(QueryStats* total, const QueryStats& s) {
   total->groups_enumerated += s.groups_enumerated;
   total->pairs_examined += s.pairs_examined;
   total->exact_distance_evals += s.exact_distance_evals;
+  total->descent_seconds += s.descent_seconds;
+  total->ball_seconds += s.ball_seconds;
+  total->refine_seconds += s.refine_seconds;
+  total->exact_dist_seconds += s.exact_dist_seconds;
+  total->dist_cache_row_hits += s.dist_cache_row_hits;
+  total->dist_cache_row_misses += s.dist_cache_row_misses;
 }
 }  // namespace
 
@@ -128,6 +134,26 @@ Aggregate RunWorkload(GpssnDatabase* db, const GpssnQuery& base, int queries,
     agg.avg_page_ios = ios / agg.queries;
   }
   return agg;
+}
+
+std::string PhaseBreakdown(const Aggregate& agg) {
+  const double n = std::max(1, agg.queries);
+  const uint64_t rows =
+      agg.total.dist_cache_row_hits + agg.total.dist_cache_row_misses;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "phases(ms/query) descent=%.3f ball=%.3f refine=%.3f "
+                "exact-dist=%.3f; dist-cache row hit-rate=%.1f%% (%llu rows)",
+                agg.total.descent_seconds * 1e3 / n,
+                agg.total.ball_seconds * 1e3 / n,
+                agg.total.refine_seconds * 1e3 / n,
+                agg.total.exact_dist_seconds * 1e3 / n,
+                rows > 0 ? 100.0 * static_cast<double>(
+                                       agg.total.dist_cache_row_hits) /
+                               static_cast<double>(rows)
+                         : 0.0,
+                static_cast<unsigned long long>(rows));
+  return buf;
 }
 
 double Aggregate::SocialIndexLevelPower(int num_users) const {

@@ -69,6 +69,10 @@ struct Aggregate {
 Aggregate RunWorkload(GpssnDatabase* db, const GpssnQuery& base, int queries,
                       const QueryOptions& options, uint64_t seed);
 
+/// One-line per-phase time breakdown of an aggregate (averages per query):
+/// descent / ball / refine / exact-dist plus distance-cache row hit rate.
+std::string PhaseBreakdown(const Aggregate& agg);
+
 /// Formats a fraction as a percentage string.
 std::string Pct(double fraction);
 

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Fixed-seed benchmark smoke run for the distance-backend/cache PR: runs
+# the one-to-many kernel shoot-out (bounded Dijkstra vs CH bucket vs warm
+# cache row read) and the repeated-issuer batch cache comparison, then
+# merges both into one JSON report with pass/fail acceptance checks:
+#
+#   - warm shared-cache batch speedup >= 1.5x over the cache-off run
+#   - CH bucket one-to-many beats bounded Dijkstra at the largest road size
+#
+# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_PR4.json)
+#
+# Exits non-zero if a check fails. Numbers are smoke-sized (seconds, not
+# minutes) — for paper-scale runs use GPSSN_BENCH_SCALE with the bench
+# binaries directly.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR4.json}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S . > /dev/null
+cmake --build build -j "$JOBS" --target bench_kernels bench_throughput
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "=== bench_kernels: one-to-many sweep ==="
+./build/bench/bench_kernels --benchmark_filter='OneToMany' \
+  --benchmark_out="$TMP/kernels.json" --benchmark_out_format=json
+
+echo "=== bench_throughput: repeated-issuer cache comparison ==="
+GPSSN_BENCH_SCALE="${GPSSN_BENCH_SCALE:-0.05}" \
+  GPSSN_BENCH_QUERIES="${GPSSN_BENCH_QUERIES:-6}" \
+  GPSSN_BENCH_JSON="$TMP/throughput.json" \
+  ./build/bench/bench_throughput
+
+python3 - "$TMP/kernels.json" "$TMP/throughput.json" "$OUT" <<'EOF'
+import json
+import sys
+
+kern_path, thr_path, out_path = sys.argv[1:4]
+with open(kern_path) as f:
+    kern = json.load(f)
+with open(thr_path) as f:
+    thr = json.load(f)
+
+kernels = {}
+for b in kern.get("benchmarks", []):
+    kernels[b["name"]] = {
+        "real_time": b["real_time"],
+        "time_unit": b.get("time_unit", "ns"),
+    }
+
+LARGEST = 50000
+dij = kernels.get(f"BM_OneToManyBoundedDijkstra/{LARGEST}")
+ch = kernels.get(f"BM_OneToManyChBucket/{LARGEST}")
+ch_speedup = (dij["real_time"] / ch["real_time"]) if (dij and ch) else None
+
+checks = {
+    "warm_cache_speedup_ge_1_5": thr.get("warm_speedup", 0.0) >= 1.5,
+    "ch_beats_dijkstra_at_largest":
+        ch_speedup is not None and ch_speedup > 1.0,
+}
+
+report = {
+    "generated_by": "scripts/bench_smoke.sh",
+    "kernels_one_to_many": kernels,
+    "kernel_largest_road_vertices": LARGEST,
+    "ch_speedup_at_largest": ch_speedup,
+    "throughput_cache": thr,
+    "checks": checks,
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+print(json.dumps(checks, indent=2))
+sys.exit(0 if all(checks.values()) else 1)
+EOF
+
+echo "OK"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/macros.h"
 #include "common/rng.h"
@@ -22,7 +23,8 @@ double Log10Binomial(int64_t n, int64_t k) {
 
 GpssnAnswer BruteForceGpssn(const SpatialSocialNetwork& ssn,
                             const GpssnQuery& query, int64_t max_groups,
-                            QueryStats* stats) {
+                            QueryStats* stats,
+                            const DistanceBackend* backend) {
   WallTimer timer;
   const SocialNetwork& social = ssn.social();
   GpssnAnswer answer;
@@ -39,10 +41,21 @@ GpssnAnswer BruteForceGpssn(const SpatialSocialNetwork& ssn,
   }
   if (groups.empty()) return answer;
 
-  DijkstraEngine engine(&ssn.road());
-  PoiLocator locator(&ssn.road(), &ssn.pois());
+  std::unique_ptr<DistanceBackend> own_backend;
+  if (backend == nullptr) {
+    own_backend = MakeDijkstraBackend(&ssn.road(), &ssn.pois());
+    backend = own_backend.get();
+  }
+  std::unique_ptr<DistanceEngine> engine = backend->CreateEngine();
 
-  // Per-user exact distances to every POI (exhaustive, no bounds).
+  // Per-user exact distances to every POI (exhaustive, no bounds): every
+  // POI is a registered target, one unbounded one-to-many evaluation per
+  // distinct group member.
+  std::vector<EdgePosition> targets(ssn.num_pois());
+  for (PoiId o = 0; o < ssn.num_pois(); ++o) {
+    targets[o] = ssn.poi(o).position;
+  }
+  engine->SetTargets(targets);
   std::vector<UserId> members;
   for (const auto& group : groups) {
     members.insert(members.end(), group.begin(), group.end());
@@ -51,21 +64,15 @@ GpssnAnswer BruteForceGpssn(const SpatialSocialNetwork& ssn,
   members.erase(std::unique(members.begin(), members.end()), members.end());
   std::vector<std::vector<double>> dist_to_poi(social.num_users());
   for (UserId u : members) {
-    engine.RunFromPosition(ssn.user_home(u));
     auto& row = dist_to_poi[u];
     row.resize(ssn.num_pois());
-    for (PoiId o = 0; o < ssn.num_pois(); ++o) {
-      double d = engine.DistanceToPosition(ssn.poi(o).position);
-      d = std::min(d, SameEdgeDistance(ssn.road(), ssn.user_home(u),
-                                       ssn.poi(o).position));
-      row[o] = d;
-    }
+    engine->SourceToTargets(ssn.user_home(u), kInfDistance, row.data());
   }
 
   // Every POI as a ball center.
   for (PoiId c = 0; c < ssn.num_pois(); ++c) {
     const auto ball_dists =
-        locator.BallWithDistances(ssn.poi(c).position, query.radius, &engine);
+        engine->BallWithDistances(ssn.poi(c).position, query.radius);
     std::vector<PoiId> ball;
     for (const auto& [id, d] : ball_dists) ball.push_back(id);
     std::sort(ball.begin(), ball.end());

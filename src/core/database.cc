@@ -41,6 +41,15 @@ GpssnDatabase::GpssnDatabase(SpatialSocialNetwork ssn,
   social_index_ = std::make_unique<SocialIndex>(&ssn_, &social_pivots_,
                                                 &road_pivots_, social_options);
 
+  if (options.distance_backend == DistanceBackendKind::kContractionHierarchy) {
+    backend_ = MakeChBackend(&ssn_.road(), &ssn_.pois(), options.ch);
+  }
+  if (options.distance_cache_entries > 0) {
+    DistanceCacheOptions cache_options;
+    cache_options.max_entries = options.distance_cache_entries;
+    distance_cache_ = std::make_unique<DistanceCache>(cache_options);
+  }
+
   processor_ =
       std::make_unique<GpssnProcessor>(poi_index_.get(), social_index_.get());
 }
@@ -66,31 +75,55 @@ GpssnDatabase::GpssnDatabase(SpatialSocialNetwork ssn,
   social_index_ = std::make_unique<SocialIndex>(&ssn_, &social_pivots_,
                                                 &road_pivots_, social_options);
 
+  if (options.distance_backend == DistanceBackendKind::kContractionHierarchy) {
+    backend_ = MakeChBackend(&ssn_.road(), &ssn_.pois(), options.ch);
+  }
+  if (options.distance_cache_entries > 0) {
+    DistanceCacheOptions cache_options;
+    cache_options.max_entries = options.distance_cache_entries;
+    distance_cache_ = std::make_unique<DistanceCache>(cache_options);
+  }
+
   processor_ =
       std::make_unique<GpssnProcessor>(poi_index_.get(), social_index_.get());
+}
+
+QueryOptions GpssnDatabase::WithDatabaseDefaults(QueryOptions options) {
+  if (options.distance_backend == nullptr) {
+    options.distance_backend = backend_.get();
+  }
+  if (options.distance_cache == nullptr) {
+    options.distance_cache = distance_cache_.get();
+  }
+  return options;
 }
 
 Result<GpssnAnswer> GpssnDatabase::Query(const GpssnQuery& query,
                                          const QueryOptions& options,
                                          QueryStats* stats) {
-  return processor_->Execute(query, options, stats);
+  return processor_->Execute(query, WithDatabaseDefaults(options), stats);
 }
 
 Result<GpssnAnswer> GpssnDatabase::Query(const GpssnQuery& query,
                                          QueryStats* stats) {
-  return processor_->Execute(query, QueryOptions{}, stats);
+  return processor_->Execute(query, WithDatabaseDefaults(QueryOptions{}),
+                             stats);
 }
 
 Result<std::vector<GpssnAnswer>> GpssnDatabase::QueryTopK(
     const GpssnQuery& query, int k, const QueryOptions& options,
     QueryStats* stats) {
-  return processor_->ExecuteTopK(query, k, options, stats);
+  return processor_->ExecuteTopK(query, k, WithDatabaseDefaults(options),
+                                 stats);
 }
 
 std::vector<BatchQueryResult> GpssnDatabase::QueryBatch(
     std::span<const GpssnQuery> queries, const BatchExecutorOptions& options,
     BatchStats* stats) {
-  GpssnBatchExecutor executor(poi_index_.get(), social_index_.get(), options);
+  BatchExecutorOptions batch_options = options;
+  batch_options.query = WithDatabaseDefaults(batch_options.query);
+  GpssnBatchExecutor executor(poi_index_.get(), social_index_.get(),
+                              batch_options);
   return executor.ExecuteAll(queries, stats);
 }
 
@@ -108,6 +141,10 @@ Result<PoiId> GpssnDatabase::AddPoi(const EdgePosition& position,
   // The processor caches a POI locator; rebuild it over the grown set.
   processor_ =
       std::make_unique<GpssnProcessor>(poi_index_.get(), social_index_.get());
+  // Cached (user, poi) distances stay valid (the road graph is unchanged),
+  // but drop them anyway: the cache contract ties entries to a fixed POI
+  // set, and a stale-id bug here would be silent.
+  if (distance_cache_ != nullptr) distance_cache_->Clear();
   return id;
 }
 

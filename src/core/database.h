@@ -17,6 +17,8 @@
 #include "index/pivot_select.h"
 #include "index/poi_index.h"
 #include "index/social_index.h"
+#include "roadnet/distance_backend.h"
+#include "roadnet/distance_cache.h"
 #include "ssn/spatial_social_network.h"
 
 namespace gpssn {
@@ -32,6 +34,19 @@ struct GpssnBuildOptions {
   PoiIndexOptions poi_index;
   SocialIndexOptions social_index;
   uint64_t seed = 1;
+  /// Exact-distance backend for refinement (roadnet/distance_backend.h).
+  /// kDijkstra keeps the processor's built-in bounded Dijkstra (bit-exact
+  /// seed behaviour, no preprocessing); kContractionHierarchy builds a CH
+  /// once at database construction and answers refinement's one-to-many
+  /// evaluations with bucket queries.
+  DistanceBackendKind distance_backend = DistanceBackendKind::kDijkstra;
+  /// CH construction knobs (used only for kContractionHierarchy).
+  ChOptions ch;
+  /// Capacity of the shared cross-query (user, poi) → distance cache
+  /// (roadnet/distance_cache.h); 0 disables it. The cache is shared by
+  /// every query and batch worker of this database and is invalidated
+  /// automatically on AddPoi.
+  size_t distance_cache_entries = 0;
 };
 
 /// Owns the network, the pivot tables, both indexes, and a processor.
@@ -57,6 +72,11 @@ class GpssnDatabase {
   const SocialPivotTable& social_pivots() const { return social_pivots_; }
   const PoiIndex& poi_index() const { return *poi_index_; }
   const SocialIndex& social_index() const { return *social_index_; }
+  /// The database-level distance backend (null when the build options
+  /// selected kDijkstra: the processor's built-in engine is used).
+  const DistanceBackend* distance_backend() const { return backend_.get(); }
+  /// The shared cross-query distance cache (null when disabled).
+  DistanceCache* distance_cache() { return distance_cache_.get(); }
 
   /// Answers a GP-SSN query (see GpssnProcessor::Execute).
   Result<GpssnAnswer> Query(const GpssnQuery& query,
@@ -90,11 +110,17 @@ class GpssnDatabase {
   Status UpdateUserInterests(UserId u, std::span<const double> interests);
 
  private:
+  /// Fills the distance backend / cache fields of `options` from the
+  /// database-level defaults when the caller left them null.
+  QueryOptions WithDatabaseDefaults(QueryOptions options);
+
   SpatialSocialNetwork ssn_;
   RoadPivotTable road_pivots_;
   SocialPivotTable social_pivots_;
   std::unique_ptr<PoiIndex> poi_index_;
   std::unique_ptr<SocialIndex> social_index_;
+  std::unique_ptr<DistanceBackend> backend_;  // Null for kDijkstra.
+  std::unique_ptr<DistanceCache> distance_cache_;  // Null when disabled.
   std::unique_ptr<GpssnProcessor> processor_;
 };
 

@@ -21,13 +21,15 @@ double Percentile(const std::vector<double>& sorted, double q) {
 }  // namespace
 
 std::string BatchStats::ToString() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "queries=%llu ok=%llu found=%llu deadline=%llu cancelled=%llu "
       "failed=%llu wall=%.4fs qps=%.1f "
       "latency(ms) mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f "
-      "cpu-total=%.4fs pairs=%llu page-ios=%llu",
+      "cpu-total=%.4fs pairs=%llu page-ios=%llu "
+      "phases(s) descent=%.4f ball=%.4f refine=%.4f exact-dist=%.4f "
+      "dist-cache rows hit=%llu miss=%llu",
       static_cast<unsigned long long>(queries),
       static_cast<unsigned long long>(succeeded),
       static_cast<unsigned long long>(answers_found),
@@ -38,7 +40,11 @@ std::string BatchStats::ToString() const {
       latency_p95_seconds * 1e3, latency_p99_seconds * 1e3,
       latency_max_seconds * 1e3, totals.cpu_seconds,
       static_cast<unsigned long long>(totals.pairs_examined),
-      static_cast<unsigned long long>(totals.PageAccesses()));
+      static_cast<unsigned long long>(totals.PageAccesses()),
+      totals.descent_seconds, totals.ball_seconds, totals.refine_seconds,
+      totals.exact_dist_seconds,
+      static_cast<unsigned long long>(totals.dist_cache_row_hits),
+      static_cast<unsigned long long>(totals.dist_cache_row_misses));
   return buf;
 }
 

@@ -14,7 +14,9 @@
 
 namespace gpssn {
 
-class PruningAuditor;  // core/audit.h
+class PruningAuditor;   // core/audit.h
+class DistanceBackend;  // roadnet/distance_backend.h
+class DistanceCache;    // roadnet/distance_cache.h
 
 /// Cooperative per-query deadline. The processor polls Expired() at its
 /// descent-loop, heap-round, and refinement boundaries and abandons the
@@ -105,6 +107,20 @@ struct QueryOptions {
   /// same loop boundaries as the deadline; fires a Cancelled status. The
   /// pointee must outlive the query.
   const std::atomic<bool>* cancel = nullptr;
+  /// Optional exact-distance backend (roadnet/distance_backend.h). Null
+  /// selects the processor's built-in bounded Dijkstra (bit-exact seed
+  /// behaviour); a CH backend accelerates refinement's user→ball-member
+  /// distance evaluations on large road networks. The backend is shared
+  /// and immutable (the processor creates a private engine from it); the
+  /// pointee must outlive every query using it.
+  const DistanceBackend* distance_backend = nullptr;
+  /// Optional shared cross-query (user, poi) → distance cache
+  /// (roadnet/distance_cache.h). Thread-safe: one cache may be shared by
+  /// all workers of a batch executor. Null disables caching. The pointee
+  /// must outlive the query; entries are only valid as long as the
+  /// underlying network is unchanged (callers must Clear() after dynamic
+  /// maintenance such as AddPoi).
+  DistanceCache* distance_cache = nullptr;
   /// Optional pruning-soundness auditor (core/audit.h): the processor
   /// notifies it on every pruned candidate and it re-tests a sample against
   /// the brute-force predicates. Null disables auditing; GPSSN_AUDIT builds

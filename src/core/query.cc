@@ -10,6 +10,7 @@
 #include "core/pruning.h"
 #include "core/refinement.h"
 #include "core/scores.h"
+#include "roadnet/distance_cache.h"
 
 namespace gpssn {
 
@@ -34,17 +35,31 @@ struct CenterInfo {
   bool issuer_matches = false;
 };
 
+// Accrues elapsed wall time into *out on destruction; attributes phase
+// time across the multiple exit paths of ExecuteImpl.
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(double* out) : out_(out) {}
+  ~ScopedPhaseTimer() { *out_ += timer_.ElapsedSeconds(); }
+  GPSSN_DISALLOW_COPY_AND_MOVE(ScopedPhaseTimer);
+
+ private:
+  WallTimer timer_;
+  double* out_;
+};
+
 }  // namespace
 
 GpssnProcessor::GpssnProcessor(const PoiIndex* poi_index,
                                const SocialIndex* social_index)
     : poi_index_(poi_index),
       social_index_(social_index),
-      engine_(&poi_index->ssn().road()),
       bfs_(&poi_index->ssn().social()),
-      locator_(&poi_index->ssn().road(), &poi_index->ssn().pois()) {
+      default_backend_(MakeDijkstraBackend(&poi_index->ssn().road(),
+                                           &poi_index->ssn().pois())) {
   GPSSN_CHECK(poi_index != nullptr && social_index != nullptr);
   GPSSN_CHECK(&poi_index->ssn() == &social_index->ssn());
+  default_engine_ = default_backend_->CreateEngine();
 #ifdef GPSSN_AUDIT
   // Audit builds: refuse to run queries over structurally corrupt indexes,
   // and default every query to the abort-on-violation soundness sampler.
@@ -63,6 +78,36 @@ GpssnProcessor::GpssnProcessor(const PoiIndex* poi_index,
   default_auditor_ =
       std::make_unique<PruningAuditor>(poi_index, social_index);
 #endif
+}
+
+DistanceEngine* GpssnProcessor::EngineFor(const QueryOptions& options) {
+  if (options.distance_backend == nullptr) return default_engine_.get();
+  if (plugged_source_ != options.distance_backend) {
+    plugged_engine_ = options.distance_backend->CreateEngine();
+    plugged_source_ = options.distance_backend;
+  }
+  return plugged_engine_.get();
+}
+
+void GpssnProcessor::RefineScratch::BeginQuery(size_t num_users,
+                                               size_t num_pois) {
+  if (poi_stamp.size() < num_pois) {
+    poi_stamp.resize(num_pois, 0);
+    poi_slot.resize(num_pois, 0);
+  }
+  if (user_stamp.size() < num_users) {
+    user_stamp.resize(num_users, 0);
+    user_row.resize(num_users, 0);
+  }
+  ++generation;
+  if (generation == 0) {  // Stamp wrap-around: hard reset.
+    std::fill(poi_stamp.begin(), poi_stamp.end(), 0);
+    std::fill(user_stamp.begin(), user_stamp.end(), 0);
+    generation = 1;
+  }
+  needed.clear();
+  needed_positions.clear();
+  rows.clear();
 }
 
 Result<GpssnAnswer> GpssnProcessor::Execute(const GpssnQuery& query,
@@ -136,6 +181,12 @@ Result<GpssnAnswer> GpssnProcessor::Execute(const GpssnQuery& query,
     out->pairs_examined += rerun_stats.pairs_examined;
     out->exact_distance_evals += rerun_stats.exact_distance_evals;
     out->truncated = out->truncated || rerun_stats.truncated;
+    out->descent_seconds += rerun_stats.descent_seconds;
+    out->ball_seconds += rerun_stats.ball_seconds;
+    out->refine_seconds += rerun_stats.refine_seconds;
+    out->exact_dist_seconds += rerun_stats.exact_dist_seconds;
+    out->dist_cache_row_hits += rerun_stats.dist_cache_row_hits;
+    out->dist_cache_row_misses += rerun_stats.dist_cache_row_misses;
     if (exact.found &&
         (!answer.found || exact.max_dist < answer.max_dist)) {
       answer = std::move(exact);
@@ -216,6 +267,8 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
   const PruningFlags& flags = options.pruning;
   BufferPool pool(options.buffer_pool_pages);
   QueryUserContext ctx(query, *social_index_);
+  DistanceEngine& dist_engine = *EngineFor(options);
+  WallTimer descent_timer;
 
   // Pruning-soundness auditor (core/audit.h): caller-supplied, or the
   // processor default in GPSSN_AUDIT builds, or null (one pointer test per
@@ -435,9 +488,11 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
 
   stats->users_candidates = user_cands.size();
   stats->pois_candidates = r_cand.size();
+  stats->descent_seconds += descent_timer.ElapsedSeconds();
 
   // ---------------------------------------------------------------- Phase 2
   // Refinement (lines 29-31).
+  const ScopedPhaseTimer refine_phase(&stats->refine_seconds);
 
   // δ-based user filter (Lemma 5 applied user-side): any member u of a
   // group achieving objective <= δ satisfies dist(u, center) <= δ for the
@@ -512,31 +567,36 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
   std::sort(centers.begin(), centers.end());
 
   // Per-user exact distances to ball-member POIs, computed lazily with one
-  // bounded Dijkstra per user (bound = best objective at compute time; a
-  // missing entry therefore proves the pair cannot beat the best).
-  std::unordered_map<UserId, std::unordered_map<PoiId, double>> user_dist;
+  // bounded search per user (bound = best objective at compute time; a
+  // kInfDistance row entry therefore proves the pair cannot beat the
+  // best). Backed by processor-owned flat stamped scratch (RefineScratch)
+  // instead of per-query hash maps, and optionally by the shared
+  // cross-query distance cache.
+  scratch_.BeginQuery(static_cast<size_t>(ssn.num_users()),
+                      static_cast<size_t>(ssn.num_pois()));
+  RefineScratch& scr = scratch_;
   std::unordered_map<PoiId, CenterInfo> center_cache;
   // (user, center) match memo: 1 = matches, 0 = fails, absent = unknown.
   std::unordered_map<uint64_t, bool> match_memo;
 
-  // All ball members of surviving centers, filled as balls materialize.
-  std::vector<char> poi_needed(ssn.num_pois(), 0);
-  std::vector<PoiId> needed_pois;
-
-  // Materialize every candidate center's ball up front so the per-user
-  // distance memo can treat "POI not in my map" as a proof of
-  // "distance exceeds the bound I was computed with".
+  // Materialize every candidate center's ball up front (loop further down)
+  // so the needed-POI slot table is complete before the first per-user
+  // distance row is computed: a row covers every needed POI, and an
+  // infinite entry is a proof, not a gap.
   auto get_center = [&](PoiId c) -> const CenterInfo& {
     auto it = center_cache.find(c);
     if (it != center_cache.end()) return it->second;
+    const ScopedPhaseTimer ball_phase(&stats->ball_seconds);
     CenterInfo info;
-    info.ball_dists = locator_.BallWithDistances(ssn.poi(c).position,
-                                                 query.radius, &engine_);
+    info.ball_dists =
+        dist_engine.BallWithDistances(ssn.poi(c).position, query.radius);
     for (const auto& [id, dist] : info.ball_dists) {
       info.ball.push_back(id);
-      if (!poi_needed[id]) {
-        poi_needed[id] = 1;
-        needed_pois.push_back(id);
+      if (scr.poi_stamp[id] != scr.generation) {
+        scr.poi_stamp[id] = scr.generation;
+        scr.poi_slot[id] = static_cast<int32_t>(scr.needed.size());
+        scr.needed.push_back(id);
+        scr.needed_positions.push_back(ssn.poi(id).position);
       }
       pool.Access(poi_index_->poi_page(id));
     }
@@ -547,24 +607,62 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
     return center_cache.emplace(c, std::move(info)).first->second;
   };
 
-  auto get_user_dists =
-      [&](UserId u, double bound) -> const std::unordered_map<PoiId, double>& {
-    auto it = user_dist.find(u);
-    if (it != user_dist.end()) return it->second;
-    engine_.RunFromPosition(ssn.user_home(u), bound);
-    ++stats->exact_distance_evals;
-    std::unordered_map<PoiId, double> dists;
-    for (PoiId id : needed_pois) {
-      const double d = engine_.DistanceToPosition(ssn.poi(id).position);
-      double exact = d;
-      const double same_edge =
-          SameEdgeDistance(ssn.road(), ssn.user_home(u), ssn.poi(id).position);
-      exact = std::min(exact, same_edge);
-      if (exact <= bound) dists.emplace(id, exact);
+  // Registers the needed-POI targets with the engine exactly once, after
+  // every candidate ball has materialized, and pre-sizes the row table so
+  // row pointers stay valid for the rest of the query (at most one row per
+  // candidate user plus the issuer).
+  bool targets_set = false;
+  auto ensure_targets = [&]() {
+    if (targets_set) return;
+    dist_engine.SetTargets(scr.needed_positions);
+    scr.rows.reserve((user_cands.size() + 1) * scr.needed.size());
+    targets_set = true;
+  };
+
+  // Row of exact distances indexed by scr.poi_slot[]; kInfDistance marks
+  // "beyond the bound the row was computed with".
+  auto get_user_dists = [&](UserId u, double bound) -> const double* {
+    const size_t width = scr.needed.size();
+    if (scr.user_stamp[u] == scr.generation) {
+      return scr.rows.data() + static_cast<size_t>(scr.user_row[u]) * width;
+    }
+    ensure_targets();
+    const int32_t row_index =
+        width == 0 ? 0 : static_cast<int32_t>(scr.rows.size() / width);
+    scr.rows.resize(scr.rows.size() + width);
+    double* row = scr.rows.data() + static_cast<size_t>(row_index) * width;
+    bool have_row = false;
+    if (options.distance_cache != nullptr && width > 0) {
+      bool all_hit = true;
+      for (size_t i = 0; i < width; ++i) {
+        if (!options.distance_cache->Lookup(u, scr.needed[i], bound,
+                                            &row[i])) {
+          all_hit = false;
+          break;
+        }
+      }
+      if (all_hit) {
+        ++stats->dist_cache_row_hits;
+        have_row = true;
+      } else {
+        ++stats->dist_cache_row_misses;
+      }
+    }
+    if (!have_row) {
+      const ScopedPhaseTimer exact_phase(&stats->exact_dist_seconds);
+      dist_engine.SourceToTargets(ssn.user_home(u), bound, row);
+      ++stats->exact_distance_evals;
+      if (options.distance_cache != nullptr) {
+        for (size_t i = 0; i < width; ++i) {
+          options.distance_cache->Insert(u, scr.needed[i], bound, row[i]);
+        }
+      }
     }
     // Charge the traversal of the user's neighbourhood (adjacency pages).
     pool.Access(social_index_->user_page(u));
-    return user_dist.emplace(u, std::move(dists)).first->second;
+    scr.user_stamp[u] = scr.generation;
+    scr.user_row[u] = row_index;
+    return row;
   };
 
   for (const auto& [center_lb, c] : centers) {
@@ -581,7 +679,7 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
   // center c is at least that, since u_q ∈ S. Centers beyond the bound are
   // dropped outright (covered by the δ a-posteriori check / fallback).
   {
-    const auto& issuer_dists = get_user_dists(query.issuer, delta);
+    const double* issuer_dists = get_user_dists(query.issuer, delta);
     std::vector<std::pair<double, PoiId>> exact_centers;
     exact_centers.reserve(centers.size());
     for (const auto& [center_lb, c] : centers) {
@@ -589,12 +687,12 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
       double worst = 0.0;
       bool in_range = !info.ball.empty();
       for (PoiId o : info.ball) {
-        auto it = issuer_dists.find(o);
-        if (it == issuer_dists.end()) {
+        const double d = issuer_dists[scr.poi_slot[o]];
+        if (d >= kInfDistance) {
           in_range = false;  // Beyond δ (or unreachable): cannot beat it.
           break;
         }
-        worst = std::max(worst, it->second);
+        worst = std::max(worst, d);
       }
       if (in_range) exact_centers.emplace_back(worst, c);
     }
@@ -663,14 +761,14 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
       double obj = 0.0;
       bool feasible = true;
       for (UserId u : group) {
-        const auto& dists = get_user_dists(u, bound());
+        const double* dists = get_user_dists(u, bound());
         for (PoiId o : info.ball) {
-          auto dit = dists.find(o);
-          if (dit == dists.end()) {
+          const double d = dists[scr.poi_slot[o]];
+          if (d >= kInfDistance) {
             feasible = false;  // Distance beyond the bound: cannot win.
             break;
           }
-          obj = std::max(obj, dit->second);
+          obj = std::max(obj, d);
         }
         if (!feasible || obj >= bound()) {
           feasible = false;

@@ -26,6 +26,7 @@
 #include "core/stats.h"
 #include "index/poi_index.h"
 #include "index/social_index.h"
+#include "roadnet/distance_backend.h"
 #include "roadnet/shortest_path.h"
 #include "socialnet/bfs.h"
 
@@ -81,11 +82,46 @@ class GpssnProcessor {
                                        QueryStats* stats, double* final_delta,
                                        bool* interrupted);
 
+  /// Engine for `options.distance_backend` (the built-in Dijkstra engine
+  /// when null). Plugged-backend engines are cached so repeated queries
+  /// against the same backend reuse one set of arenas.
+  DistanceEngine* EngineFor(const QueryOptions& options);
+
+  /// Flat stamped scratch for the refinement phase, reused across queries:
+  /// replaces the per-query unordered_map<UserId, unordered_map<PoiId,
+  /// double>> distance memos with generation-stamped slot/row arrays and
+  /// one flat row-major distance table, eliminating allocation churn in
+  /// the refinement loop.
+  struct RefineScratch {
+    uint32_t generation = 0;
+    // POI id -> slot in `needed` (valid when poi_stamp matches).
+    std::vector<uint32_t> poi_stamp;
+    std::vector<int32_t> poi_slot;
+    std::vector<PoiId> needed;                  // Slot -> POI id.
+    std::vector<EdgePosition> needed_positions; // Slot -> position.
+    // User id -> row index into `rows` (valid when user_stamp matches).
+    std::vector<uint32_t> user_stamp;
+    std::vector<int32_t> user_row;
+    // Row-major |rows| x |needed| distance table; kInfDistance = beyond
+    // the bound the row was computed under.
+    std::vector<double> rows;
+
+    /// Starts a query: bumps the generation (invalidating every slot/row
+    /// in O(1)) and clears the flat arrays, keeping their capacity.
+    void BeginQuery(size_t num_users, size_t num_pois);
+  };
+
   const PoiIndex* poi_index_;
   const SocialIndex* social_index_;
-  DijkstraEngine engine_;
   BfsEngine bfs_;
-  PoiLocator locator_;
+  // Built-in backend: bounded Dijkstra over the indexes' road network
+  // (bit-exact with the seed query path).
+  std::unique_ptr<DistanceBackend> default_backend_;
+  std::unique_ptr<DistanceEngine> default_engine_;
+  // Engine created from the last non-null options.distance_backend.
+  const DistanceBackend* plugged_source_ = nullptr;
+  std::unique_ptr<DistanceEngine> plugged_engine_;
+  RefineScratch scratch_;
   // Non-null only in GPSSN_AUDIT builds: the default pruning-soundness
   // auditor (abort-on-violation) used when the caller supplies none.
   std::unique_ptr<PruningAuditor> default_auditor_;

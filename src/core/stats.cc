@@ -29,6 +29,12 @@ void QueryStats::MergeFrom(const QueryStats& other) {
   pairs_examined += other.pairs_examined;
   exact_distance_evals += other.exact_distance_evals;
   truncated = truncated || other.truncated;
+  descent_seconds += other.descent_seconds;
+  ball_seconds += other.ball_seconds;
+  refine_seconds += other.refine_seconds;
+  exact_dist_seconds += other.exact_dist_seconds;
+  dist_cache_row_hits += other.dist_cache_row_hits;
+  dist_cache_row_misses += other.dist_cache_row_misses;
 }
 
 std::string QueryStats::ToString() const {
@@ -42,7 +48,9 @@ std::string QueryStats::ToString() const {
       "road: nodes visited=%llu pruned(match=%llu, distance=%llu); "
       "pois seen=%llu pruned(match=%llu, distance=%llu) candidates=%llu "
       "index-pruned-pois=%llu\n"
-      "refine: groups=%llu pairs=%llu exact-dist=%llu truncated=%d",
+      "refine: groups=%llu pairs=%llu exact-dist=%llu truncated=%d\n"
+      "phases: descent=%.6fs ball=%.6fs refine=%.6fs exact-dist=%.6fs; "
+      "dist-cache rows hit=%llu miss=%llu",
       cpu_seconds, static_cast<unsigned long long>(io.page_misses),
       static_cast<unsigned long long>(io.logical_accesses),
       static_cast<unsigned long long>(social_nodes_visited),
@@ -65,7 +73,9 @@ std::string QueryStats::ToString() const {
       static_cast<unsigned long long>(groups_enumerated),
       static_cast<unsigned long long>(pairs_examined),
       static_cast<unsigned long long>(exact_distance_evals),
-      truncated ? 1 : 0);
+      truncated ? 1 : 0, descent_seconds, ball_seconds, refine_seconds,
+      exact_dist_seconds, static_cast<unsigned long long>(dist_cache_row_hits),
+      static_cast<unsigned long long>(dist_cache_row_misses));
   return buf;
 }
 

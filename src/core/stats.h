@@ -47,6 +47,20 @@ struct QueryStats {
   uint64_t exact_distance_evals = 0;
   bool truncated = false;          // A refinement cap was hit.
 
+  // --- Per-phase wall time (attributes backend/cache wins to the phase
+  // they land in; the four do not sum to cpu_seconds — exact_dist and
+  // ball are subsets of refine).
+  double descent_seconds = 0.0;     // Phase 1: synchronized index descent.
+  double ball_seconds = 0.0;        // Ball materialization (B(o_i, r)).
+  double refine_seconds = 0.0;      // Phase 2 total (includes the below).
+  double exact_dist_seconds = 0.0;  // Exact user→POI distance evaluations.
+
+  // --- Shared distance cache (roadnet/distance_cache.h), counted at
+  // user-row granularity: a hit means one whole per-user distance
+  // evaluation (one bounded Dijkstra / CH forward search) was skipped.
+  uint64_t dist_cache_row_hits = 0;
+  uint64_t dist_cache_row_misses = 0;
+
   /// Page misses (the paper's "number of page accesses through a buffer").
   uint64_t PageAccesses() const { return io.page_misses; }
 

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/macros.h"
 #include "core/scores.h"
-#include "roadnet/shortest_path.h"
 
 namespace gpssn {
 
@@ -54,8 +54,13 @@ ParameterSuggestion SuggestParameters(const SpatialSocialNetwork& ssn,
   // --- r: percentile of the radius needed to gather target_ball_size POIs
   // around a random POI (a stand-in for the trip-length distribution of a
   // query log).
-  DijkstraEngine engine(&ssn.road());
-  PoiLocator locator(&ssn.road(), &ssn.pois());
+  std::unique_ptr<DistanceBackend> own_backend;
+  const DistanceBackend* backend = options.distance_backend;
+  if (backend == nullptr) {
+    own_backend = MakeDijkstraBackend(&ssn.road(), &ssn.pois());
+    backend = own_backend.get();
+  }
+  std::unique_ptr<DistanceEngine> engine = backend->CreateEngine();
   {
     std::vector<double> radii;
     for (int s = 0; s < options.radius_samples; ++s) {
@@ -65,7 +70,7 @@ ParameterSuggestion SuggestParameters(const SpatialSocialNetwork& ssn,
       double probe = 0.25;
       for (int iter = 0; iter < 12; ++iter) {
         const auto ball =
-            locator.BallWithDistances(ssn.poi(center).position, probe, &engine);
+            engine->BallWithDistances(ssn.poi(center).position, probe);
         if (static_cast<int>(ball.size()) >= options.target_ball_size) {
           double max_d = 0.0;
           for (const auto& [id, d] : ball) max_d = std::max(max_d, d);
@@ -87,9 +92,13 @@ ParameterSuggestion SuggestParameters(const SpatialSocialNetwork& ssn,
       const UserId u = static_cast<UserId>(rng.NextBounded(ssn.num_users()));
       const PoiId center =
           static_cast<PoiId>(rng.NextBounded(ssn.num_pois()));
-      const auto ball =
-          locator.Ball(ssn.poi(center).position, suggestion.radius, &engine);
-      if (ball.empty()) continue;
+      const auto ball_dists =
+          engine->BallWithDistances(ssn.poi(center).position,
+                                    suggestion.radius);
+      if (ball_dists.empty()) continue;
+      std::vector<PoiId> ball;
+      ball.reserve(ball_dists.size());
+      for (const auto& [id, d] : ball_dists) ball.push_back(id);
       scores.push_back(
           MatchScore(social.Interests(u), UnionKeywords(ssn, ball)));
     }

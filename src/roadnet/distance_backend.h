@@ -1,0 +1,109 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Pluggable exact-distance backends for the GP-SSN query path. The
+// refinement phase's hottest kernel is "distances from one user to the
+// members of every surviving POI ball" (the maxdist_RN evaluations of
+// Definition 5); this header abstracts it behind a DistanceEngine so the
+// processor can run either
+//   * the reference bounded Dijkstra (bit-exact seed behaviour, optimal
+//     for radius-bounded local searches), or
+//   * a contraction-hierarchy bucket engine: one backward upward search
+//     per target POI filling per-vertex buckets, then ONE forward upward
+//     search per user — so a user's distances to all needed ball members
+//     cost O(upward search space) instead of a bounded Dijkstra over the
+//     whole neighbourhood. On large road networks the upward search space
+//     is orders of magnitude smaller than the Dijkstra frontier.
+//
+// Both engines return IDENTICAL results (up to floating-point association
+// in shortcut weights, < 1e-9 on realistic weights); the differential test
+// suite asserts answer-level equality across backends.
+
+#ifndef GPSSN_ROADNET_DISTANCE_BACKEND_H_
+#define GPSSN_ROADNET_DISTANCE_BACKEND_H_
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "roadnet/contraction_hierarchy.h"
+#include "roadnet/poi.h"
+#include "roadnet/road_graph.h"
+#include "roadnet/shortest_path.h"
+
+namespace gpssn {
+
+enum class DistanceBackendKind {
+  kDijkstra,
+  kContractionHierarchy,
+};
+
+/// Per-thread exact-distance engine. Owns reusable arenas; not
+/// thread-safe — create one engine per thread (DistanceBackend::CreateEngine
+/// is cheap relative to preprocessing).
+class DistanceEngine {
+ public:
+  virtual ~DistanceEngine() = default;
+
+  virtual DistanceBackendKind kind() const = 0;
+  virtual const char* name() const = 0;
+
+  /// Exact dist_RN between two edge positions, with early termination:
+  /// returns kInfDistance when the distance exceeds `bound`.
+  virtual double PositionToPosition(const EdgePosition& a,
+                                    const EdgePosition& b, double bound) = 0;
+
+  /// All POIs with dist_RN(center, poi) <= radius, with exact distances.
+  /// Radius-bounded local searches are Dijkstra-optimal, so both backends
+  /// answer this with the bounded engine.
+  virtual std::vector<std::pair<PoiId, double>> BallWithDistances(
+      const EdgePosition& center, double radius) = 0;
+
+  /// Registers the target positions for subsequent SourceToTargets calls.
+  /// The CH engine runs one backward upward search per target here,
+  /// bucketing (target, distance) entries at every reached vertex; the
+  /// Dijkstra engine just stores the list. Targets stay registered until
+  /// the next SetTargets call.
+  virtual void SetTargets(std::span<const EdgePosition> targets) = 0;
+
+  virtual size_t num_targets() const = 0;
+
+  /// Exact distances from `source` to every registered target, in one
+  /// forward search. out[i] receives dist_RN(source, targets[i]) when it
+  /// is <= bound, kInfDistance otherwise. `out` must have room for
+  /// num_targets() entries.
+  virtual void SourceToTargets(const EdgePosition& source, double bound,
+                               double* out) = 0;
+};
+
+/// Immutable, thread-safe engine factory bound to one road network and POI
+/// set (both kept by pointer; must outlive the backend). Share one backend
+/// across all query processors / batch-executor workers; hand each thread
+/// its own engine. Engines may reference state owned by their backend (the
+/// CH backend owns the hierarchy) — an engine must not outlive the backend
+/// that created it.
+class DistanceBackend {
+ public:
+  virtual ~DistanceBackend() = default;
+
+  virtual DistanceBackendKind kind() const = 0;
+  virtual const char* name() const = 0;
+  virtual std::unique_ptr<DistanceEngine> CreateEngine() const = 0;
+};
+
+/// The reference backend: bounded Dijkstra with reusable arenas. Engines
+/// reproduce the seed query path bit-exactly.
+std::unique_ptr<DistanceBackend> MakeDijkstraBackend(
+    const RoadNetwork* graph, const std::vector<Poi>* pois);
+
+/// The CH-accelerated backend. Builds a ContractionHierarchy once
+/// (seconds for 10^5-vertex graphs); engines answer SourceToTargets with
+/// the bucket many-to-many algorithm and PositionToPosition with the
+/// bidirectional upward search.
+std::unique_ptr<DistanceBackend> MakeChBackend(const RoadNetwork* graph,
+                                               const std::vector<Poi>* pois,
+                                               const ChOptions& options = {});
+
+}  // namespace gpssn
+
+#endif  // GPSSN_ROADNET_DISTANCE_BACKEND_H_

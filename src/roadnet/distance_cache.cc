@@ -1,0 +1,125 @@
+#include "roadnet/distance_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace gpssn {
+
+namespace {
+
+int RoundUpPow2(int v) {
+  int p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+DistanceCache::DistanceCache(const DistanceCacheOptions& options)
+    : max_entries_(std::max<size_t>(options.max_entries, 1)) {
+  const int shards = RoundUpPow2(std::max(options.num_shards, 1));
+  shard_mask_ = static_cast<uint64_t>(shards - 1);
+  shards_ = std::vector<Shard>(shards);
+  per_shard_capacity_ =
+      std::max<size_t>(1, (max_entries_ + shards - 1) / shards);
+}
+
+bool DistanceCache::Lookup(UserId user, PoiId poi, double bound,
+                           double* dist) {
+  const uint64_t key = Key(user, poi);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return false;
+  }
+  Entry& e = it->second;
+  if (!std::isfinite(e.dist) && e.bound < bound) {
+    // "dist > e.bound" says nothing about bounds beyond e.bound.
+    ++shard.misses;
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, e.lru);
+  ++shard.hits;
+  // A finite entry is the exact distance; report it against the caller's
+  // bound so the hit is indistinguishable from a fresh computation.
+  *dist = e.dist <= bound ? e.dist : kInfDistance;
+  return true;
+}
+
+void DistanceCache::Insert(UserId user, PoiId poi, double bound,
+                           double dist) {
+  const uint64_t key = Key(user, poi);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    Entry& e = it->second;
+    // Finite (exact) beats inf; among inf tags the larger bound is
+    // strictly more informative.
+    if (std::isfinite(dist)) {
+      e.dist = dist;
+      e.bound = bound;
+    } else if (!std::isfinite(e.dist) && bound > e.bound) {
+      e.bound = bound;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, e.lru);
+    return;
+  }
+  if (shard.map.size() >= per_shard_capacity_) {
+    const uint64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.map.erase(victim);
+    ++shard.evictions;
+  }
+  shard.lru.push_front(key);
+  Entry e;
+  e.dist = dist;
+  e.bound = bound;
+  e.lru = shard.lru.begin();
+  shard.map.emplace(key, e);
+  ++shard.insertions;
+}
+
+DistanceCache::Stats DistanceCache::GetStats() const {
+  Stats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.insertions += shard.insertions;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.map.size();
+  }
+  return stats;
+}
+
+void DistanceCache::Clear() {
+  // Drops every entry but keeps the lifetime counters: a Clear() after an
+  // index mutation should not erase the observability history.
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.lru.clear();
+  }
+}
+
+std::string DistanceCache::Stats::ToString() const {
+  char buf[160];
+  const uint64_t total = hits + misses;
+  std::snprintf(buf, sizeof(buf),
+                "entries=%zu hits=%llu misses=%llu (%.1f%% hit) "
+                "insertions=%llu evictions=%llu",
+                entries, static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                total > 0 ? 100.0 * static_cast<double>(hits) /
+                                static_cast<double>(total)
+                          : 0.0,
+                static_cast<unsigned long long>(insertions),
+                static_cast<unsigned long long>(evictions));
+  return buf;
+}
+
+}  // namespace gpssn

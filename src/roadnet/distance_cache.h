@@ -1,0 +1,114 @@
+// Copyright 2026 The gpssn Authors.
+//
+// A sharded, memory-bounded cross-query cache of exact user→POI road
+// distances. The batch executor's workers repeatedly recompute the same
+// user→POI distances (popular issuers, overlapping candidate balls); this
+// cache lets any worker reuse a distance another worker already paid for,
+// across queries, over the immutable indexes.
+//
+// Entries are BOUND-TAGGED: refinement computes distances under a bound
+// (the best objective so far), and "no result" only proves the distance
+// exceeds THAT bound. An entry therefore stores either
+//   * a finite distance d — exact, reusable under ANY requested bound
+//     (the caller compares d against its own bound), or
+//   * kInfDistance tagged with the bound b it was computed under —
+//     meaning dist > b, reusable only for requests with bound <= b.
+// Serving an inf entry computed under a smaller bound to a larger-bound
+// request would wrongly report "unreachable"; Lookup treats that case as
+// a miss. See DESIGN.md "Distance backends & caching".
+
+#ifndef GPSSN_ROADNET_DISTANCE_CACHE_H_
+#define GPSSN_ROADNET_DISTANCE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "roadnet/shortest_path.h"
+#include "roadnet/types.h"
+
+namespace gpssn {
+
+struct DistanceCacheOptions {
+  /// Total entry budget across all shards (LRU-evicted per shard).
+  size_t max_entries = 1u << 20;
+  /// Lock-striping factor; rounded up to a power of two. One mutex, map,
+  /// and LRU list per shard.
+  int num_shards = 16;
+};
+
+/// Thread-safe (user, poi) → distance cache with striped locks and
+/// per-shard LRU eviction. Shared by all workers of a batch executor.
+class DistanceCache {
+ public:
+  explicit DistanceCache(const DistanceCacheOptions& options = {});
+
+  GPSSN_DISALLOW_COPY_AND_MOVE(DistanceCache);
+
+  /// Returns true on a usable hit and sets *dist to the cached distance
+  /// (kInfDistance = proven greater than `bound`). An inf entry tagged
+  /// with a smaller bound than `bound` is NOT usable and misses.
+  bool Lookup(UserId user, PoiId poi, double bound, double* dist);
+
+  /// Records dist_RN(user, poi) computed under `bound`: `dist` is the
+  /// exact distance when <= bound, kInfDistance meaning "> bound"
+  /// otherwise. Finite entries always win over inf entries; among inf
+  /// entries the larger bound wins.
+  void Insert(UserId user, PoiId poi, double bound, double dist);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    std::string ToString() const;
+  };
+  Stats GetStats() const;
+
+  size_t max_entries() const { return max_entries_; }
+
+  void Clear();
+
+ private:
+  struct Entry {
+    double dist = kInfDistance;   // Exact when finite.
+    double bound = 0.0;           // Tag: the bound `dist` was computed under.
+    std::list<uint64_t>::iterator lru;
+  };
+
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Entry> map;
+    std::list<uint64_t> lru;  // Front = most recent.
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  static uint64_t Key(UserId user, PoiId poi) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(user)) << 32) |
+           static_cast<uint32_t>(poi);
+  }
+
+  Shard& ShardFor(uint64_t key) {
+    // Multiplicative mix so consecutive ids spread across shards.
+    const uint64_t h = key * 0x9e3779b97f4a7c15ull;
+    return shards_[(h >> 32) & shard_mask_];
+  }
+
+  size_t max_entries_;
+  size_t per_shard_capacity_;
+  uint64_t shard_mask_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_ROADNET_DISTANCE_CACHE_H_

@@ -12,6 +12,7 @@ DijkstraEngine::DijkstraEngine(const RoadNetwork* graph) : graph_(graph) {
   dist_.resize(graph->num_vertices(), kInfDistance);
   stamp_.resize(graph->num_vertices(), 0);
   settled_stamp_.resize(graph->num_vertices(), 0);
+  target_stamp_.resize(graph->num_vertices(), 0);
 }
 
 void DijkstraEngine::Reset() {
@@ -19,6 +20,7 @@ void DijkstraEngine::Reset() {
   if (generation_ == 0) {  // Stamp wrap-around: hard reset.
     std::fill(stamp_.begin(), stamp_.end(), 0);
     std::fill(settled_stamp_.begin(), settled_stamp_.end(), 0);
+    std::fill(target_stamp_.begin(), target_stamp_.end(), 0);
     generation_ = 1;
   }
   settled_.clear();
@@ -46,10 +48,17 @@ void DijkstraEngine::RunWithTargets(
     GPSSN_CHECK(v >= 0 && v < graph_->num_vertices());
     if (d <= bound) Relax(v, d);
   }
+  // Generation-stamped target marks: O(1) membership per settled vertex,
+  // and counting DISTINCT targets (duplicates in `targets` must not
+  // inflate the count past what settling can clear, or early termination
+  // would never fire).
   size_t targets_left = 0;
   for (VertexId t : targets) {
-    (void)t;
-    ++targets_left;
+    GPSSN_CHECK(t >= 0 && t < graph_->num_vertices());
+    if (target_stamp_[t] != generation_) {
+      target_stamp_[t] = generation_;
+      ++targets_left;
+    }
   }
   while (!heap_.empty()) {
     std::pop_heap(heap_.begin(), heap_.end(), HeapGreater());
@@ -59,14 +68,10 @@ void DijkstraEngine::RunWithTargets(
     if (d > bound) break;
     settled_stamp_[v] = generation_;
     settled_.push_back(v);
-    if (targets_left > 0) {
-      for (VertexId t : targets) {
-        if (t == v) {
-          --targets_left;
-          break;
-        }
-      }
-      if (targets_left == 0) return;
+    // Each vertex settles at most once per generation, so a marked target
+    // decrements exactly once.
+    if (targets_left > 0 && target_stamp_[v] == generation_) {
+      if (--targets_left == 0) return;
     }
     for (const RoadArc& arc : graph_->Neighbors(v)) {
       const double nd = d + arc.weight;

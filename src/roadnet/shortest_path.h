@@ -85,6 +85,7 @@ class DijkstraEngine {
   std::vector<double> dist_;
   std::vector<uint32_t> stamp_;          // Label validity (tentative).
   std::vector<uint32_t> settled_stamp_;  // Label finality (exact).
+  std::vector<uint32_t> target_stamp_;   // RunWithTargets membership.
   uint32_t generation_ = 0;
   std::vector<VertexId> settled_;
   // Binary heap of (distance, vertex); lazily deleted entries.

@@ -1,0 +1,149 @@
+// Backend differential harness: on 20 randomized synthetic networks, the
+// full GP-SSN query path must return the SAME answer — (S, R, objective) —
+// under every distance configuration: built-in Dijkstra, the CH bucket
+// backend, and each of those with the shared distance cache enabled (both
+// cold and warm, which exercises the bound-tag reuse path). The center and
+// user/POI sets must match exactly; the objective to 1e-9 (CH shortcut
+// weights sum in a different floating-point association order).
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "roadnet/distance_backend.h"
+#include "roadnet/distance_cache.h"
+#include "ssn/dataset.h"
+
+namespace gpssn {
+namespace {
+
+class BackendDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+void ExpectSameAnswer(const GpssnAnswer& want, const GpssnAnswer& got,
+                      const char* label, uint64_t seed, int trial) {
+  ASSERT_EQ(want.found, got.found)
+      << label << " seed=" << seed << " trial=" << trial;
+  if (!want.found) return;
+  EXPECT_EQ(want.users, got.users)
+      << label << " seed=" << seed << " trial=" << trial;
+  EXPECT_EQ(want.center, got.center)
+      << label << " seed=" << seed << " trial=" << trial;
+  EXPECT_EQ(want.pois, got.pois)
+      << label << " seed=" << seed << " trial=" << trial;
+  EXPECT_NEAR(want.max_dist, got.max_dist, 1e-9)
+      << label << " seed=" << seed << " trial=" << trial;
+}
+
+TEST_P(BackendDifferentialTest, AllBackendsAgreeOnAnswers) {
+  Rng rng(GetParam() * 9176 + 7);
+
+  SyntheticSsnOptions data;
+  data.num_road_vertices = 120 + static_cast<int>(rng.NextBounded(120));
+  data.num_pois = 40 + static_cast<int>(rng.NextBounded(40));
+  data.num_users = 60 + static_cast<int>(rng.NextBounded(60));
+  data.num_topics = 8 + static_cast<int>(rng.NextBounded(8));
+  data.space_size = 12.0 + rng.UniformDouble(0, 6);
+  data.distribution =
+      rng.Bernoulli(0.5) ? Distribution::kUniform : Distribution::kZipf;
+  data.seed = rng.Next();
+
+  GpssnBuildOptions build;
+  build.num_road_pivots = 1 + static_cast<int>(rng.NextBounded(4));
+  build.num_social_pivots = 1 + static_cast<int>(rng.NextBounded(4));
+  build.optimize_pivots = rng.Bernoulli(0.5);
+  build.poi_index.r_min = 0.3;
+  build.poi_index.r_max = 4.5;
+  build.seed = rng.Next();
+
+  GpssnDatabase db(MakeSynthetic(data), build);
+  const auto ch_backend =
+      MakeChBackend(&db.ssn().road(), &db.ssn().pois());
+  DistanceCache dijkstra_cache;
+  DistanceCache ch_cache;
+
+  for (int trial = 0; trial < 4; ++trial) {
+    GpssnQuery q;
+    q.issuer = static_cast<UserId>(rng.NextBounded(db.ssn().num_users()));
+    q.tau = 2 + static_cast<int>(rng.NextBounded(3));
+    q.gamma = rng.UniformDouble(0.05, 0.5);
+    q.theta = rng.UniformDouble(0.05, 0.6);
+    q.radius = rng.UniformDouble(0.4, 4.0);
+
+    QueryOptions base;
+    auto reference = db.Query(q, base);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+    QueryOptions with_ch;
+    with_ch.distance_backend = ch_backend.get();
+    auto ch_answer = db.Query(q, with_ch);
+    ASSERT_TRUE(ch_answer.ok()) << ch_answer.status().ToString();
+    ExpectSameAnswer(*reference, *ch_answer, "ch", GetParam(), trial);
+
+    // Cached runs, twice each: the first fills the cache (cold), the
+    // second reuses rows computed under the FIRST run's bounds (warm),
+    // exercising the bound-tag soundness logic end to end.
+    QueryOptions with_cache = base;
+    with_cache.distance_cache = &dijkstra_cache;
+    for (int pass = 0; pass < 2; ++pass) {
+      QueryStats stats;
+      auto cached = db.Query(q, with_cache, &stats);
+      ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+      ExpectSameAnswer(*reference, *cached,
+                       pass == 0 ? "dijkstra+cache cold" : "dijkstra+cache warm",
+                       GetParam(), trial);
+    }
+
+    QueryOptions ch_with_cache = with_ch;
+    ch_with_cache.distance_cache = &ch_cache;
+    for (int pass = 0; pass < 2; ++pass) {
+      auto cached = db.Query(q, ch_with_cache);
+      ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+      ExpectSameAnswer(*reference, *cached,
+                       pass == 0 ? "ch+cache cold" : "ch+cache warm",
+                       GetParam(), trial);
+    }
+  }
+}
+
+TEST(BackendDatabaseTest, DatabaseLevelChAndCacheProduceSameAnswers) {
+  SyntheticSsnOptions data;
+  data.num_road_vertices = 150;
+  data.num_pois = 50;
+  data.num_users = 70;
+  data.seed = 33;
+
+  GpssnBuildOptions plain;
+  plain.poi_index.r_min = 0.3;
+  plain.poi_index.r_max = 4.5;
+  GpssnDatabase reference_db(MakeSynthetic(data), plain);
+
+  GpssnBuildOptions accelerated = plain;
+  accelerated.distance_backend = DistanceBackendKind::kContractionHierarchy;
+  accelerated.distance_cache_entries = 1u << 16;
+  GpssnDatabase fast_db(MakeSynthetic(data), accelerated);
+  ASSERT_NE(fast_db.distance_backend(), nullptr);
+  ASSERT_NE(fast_db.distance_cache(), nullptr);
+
+  Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    GpssnQuery q;
+    q.issuer =
+        static_cast<UserId>(rng.NextBounded(reference_db.ssn().num_users()));
+    q.tau = 2 + static_cast<int>(rng.NextBounded(3));
+    q.gamma = rng.UniformDouble(0.05, 0.4);
+    q.theta = rng.UniformDouble(0.05, 0.5);
+    q.radius = rng.UniformDouble(0.5, 4.0);
+    auto want = reference_db.Query(q);
+    auto got = fast_db.Query(q);
+    ASSERT_TRUE(want.ok() && got.ok());
+    ExpectSameAnswer(*want, *got, "db-level", 33, trial);
+  }
+  // The warm cache must have produced row hits by now on repeat issuers.
+  EXPECT_GT(fast_db.distance_cache()->GetStats().insertions, 0u);
+}
+
+// 20 random networks × 4 queries × 6 configurations.
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace gpssn

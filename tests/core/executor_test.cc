@@ -14,6 +14,7 @@
 
 #include "core/database.h"
 #include "core/executor.h"
+#include "roadnet/distance_cache.h"
 #include "ssn/dataset.h"
 
 namespace gpssn {
@@ -84,6 +85,49 @@ TEST(BatchExecutorTest, BatchResultsEqualSerialResultsQueryForQuery) {
     ASSERT_EQ(batch[i].query.issuer, queries[i].issuer);
     ExpectSameAnswer(batch[i], serial[i], static_cast<int>(i));
   }
+}
+
+TEST(BatchExecutorTest, SharedDistanceCacheKeepsBatchAnswersExact) {
+  // 8 workers hammering one shared DistanceCache (the TSAN preset runs
+  // this test): answers must stay identical to the serial no-cache run,
+  // and a repeated workload must produce row-level cache hits.
+  GpssnDatabase* db = SharedDb();
+  const std::vector<GpssnQuery> queries = MakeWorkload(32);
+
+  std::vector<GpssnAnswer> serial;
+  for (const GpssnQuery& q : queries) {
+    auto answer = db->Query(q);
+    ASSERT_TRUE(answer.ok());
+    serial.push_back(*std::move(answer));
+  }
+
+  DistanceCache cache;
+  BatchExecutorOptions options;
+  options.num_workers = 8;
+  options.query.distance_cache = &cache;
+  GpssnBatchExecutor executor(&db->poi_index(), &db->social_index(), options);
+
+  BatchStats cold_stats;
+  std::vector<BatchQueryResult> cold = executor.ExecuteAll(queries, &cold_stats);
+  ASSERT_EQ(cold.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameAnswer(cold[i], serial[i], static_cast<int>(i));
+  }
+
+  // Same workload again: warm cache, identical answers, row hits > 0.
+  BatchStats warm_stats;
+  std::vector<BatchQueryResult> warm = executor.ExecuteAll(queries, &warm_stats);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameAnswer(warm[i], serial[i], static_cast<int>(i));
+  }
+  EXPECT_GT(warm_stats.totals.dist_cache_row_hits, 0u);
+  // Every row the cold run computed hits in the warm run (entries only get
+  // stronger), so the warm run evaluates strictly fewer distances.
+  EXPECT_LT(warm_stats.totals.exact_distance_evals,
+            cold_stats.totals.exact_distance_evals);
+  const auto cache_stats = cache.GetStats();
+  EXPECT_GT(cache_stats.insertions, 0u);
+  EXPECT_GT(cache_stats.hits, 0u);
 }
 
 TEST(BatchExecutorTest, AggregatedStatsEqualPerQuerySums) {

@@ -1,0 +1,163 @@
+// Unit and concurrency tests for the shared cross-query distance cache:
+// bound-tag semantics (an "unreachable within b" entry must not serve a
+// request with a larger bound), finite-over-inf upgrade policy, LRU
+// eviction under the capacity budget, and a multithreaded hammer that the
+// TSAN preset runs to prove the striped locking is race-free.
+
+#include "roadnet/distance_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace gpssn {
+namespace {
+
+TEST(DistanceCacheTest, FiniteEntryServesAnyBound) {
+  DistanceCache cache;
+  cache.Insert(1, 2, /*bound=*/10.0, /*dist=*/4.0);
+  double d = 0.0;
+  // Exact distance, reusable under any bound.
+  ASSERT_TRUE(cache.Lookup(1, 2, 10.0, &d));
+  EXPECT_EQ(d, 4.0);
+  ASSERT_TRUE(cache.Lookup(1, 2, 100.0, &d));
+  EXPECT_EQ(d, 4.0);
+  // Under a smaller bound the exact value proves "beyond the bound".
+  ASSERT_TRUE(cache.Lookup(1, 2, 3.0, &d));
+  EXPECT_EQ(d, kInfDistance);
+}
+
+TEST(DistanceCacheTest, InfEntryOnlyServesSmallerOrEqualBounds) {
+  DistanceCache cache;
+  cache.Insert(1, 2, /*bound=*/5.0, kInfDistance);  // dist > 5.
+  double d = 0.0;
+  ASSERT_TRUE(cache.Lookup(1, 2, 5.0, &d));
+  EXPECT_EQ(d, kInfDistance);
+  ASSERT_TRUE(cache.Lookup(1, 2, 2.0, &d));
+  EXPECT_EQ(d, kInfDistance);
+  // A larger bound cannot be answered: the distance might be 6.
+  EXPECT_FALSE(cache.Lookup(1, 2, 8.0, &d));
+}
+
+TEST(DistanceCacheTest, FiniteWinsOverInfAndLargerInfBoundWins) {
+  DistanceCache cache;
+  cache.Insert(1, 2, 5.0, kInfDistance);
+  cache.Insert(1, 2, 7.0, kInfDistance);  // Stronger proof: dist > 7.
+  double d = 0.0;
+  ASSERT_TRUE(cache.Lookup(1, 2, 6.0, &d));
+  EXPECT_EQ(d, kInfDistance);
+  // A later exact result upgrades the entry permanently.
+  cache.Insert(1, 2, 20.0, 9.5);
+  ASSERT_TRUE(cache.Lookup(1, 2, 100.0, &d));
+  EXPECT_EQ(d, 9.5);
+  // An inf insert must NOT downgrade a finite entry.
+  cache.Insert(1, 2, 3.0, kInfDistance);
+  ASSERT_TRUE(cache.Lookup(1, 2, 100.0, &d));
+  EXPECT_EQ(d, 9.5);
+}
+
+TEST(DistanceCacheTest, DistinctKeysDoNotCollide) {
+  DistanceCache cache;
+  cache.Insert(1, 2, 10.0, 1.0);
+  cache.Insert(2, 1, 10.0, 2.0);
+  double d = 0.0;
+  ASSERT_TRUE(cache.Lookup(1, 2, 10.0, &d));
+  EXPECT_EQ(d, 1.0);
+  ASSERT_TRUE(cache.Lookup(2, 1, 10.0, &d));
+  EXPECT_EQ(d, 2.0);
+  EXPECT_FALSE(cache.Lookup(3, 3, 10.0, &d));
+}
+
+TEST(DistanceCacheTest, EvictsLeastRecentlyUsedWithinBudget) {
+  DistanceCacheOptions options;
+  options.max_entries = 64;
+  options.num_shards = 1;  // Single shard: deterministic LRU order.
+  DistanceCache cache(options);
+  for (UserId u = 0; u < 200; ++u) {
+    cache.Insert(u, 0, 10.0, static_cast<double>(u));
+  }
+  const auto stats = cache.GetStats();
+  EXPECT_LE(stats.entries, options.max_entries);
+  EXPECT_GT(stats.evictions, 0u);
+  double d = 0.0;
+  // The most recent insert survives; the oldest was evicted.
+  EXPECT_TRUE(cache.Lookup(199, 0, 10.0, &d));
+  EXPECT_FALSE(cache.Lookup(0, 0, 10.0, &d));
+}
+
+TEST(DistanceCacheTest, LookupRefreshesRecency) {
+  DistanceCacheOptions options;
+  options.max_entries = 4;
+  options.num_shards = 1;
+  DistanceCache cache(options);
+  for (UserId u = 0; u < 4; ++u) cache.Insert(u, 0, 10.0, 1.0);
+  double d = 0.0;
+  ASSERT_TRUE(cache.Lookup(0, 0, 10.0, &d));  // 0 becomes most recent.
+  cache.Insert(50, 0, 10.0, 1.0);             // Evicts 1, not 0.
+  EXPECT_TRUE(cache.Lookup(0, 0, 10.0, &d));
+  EXPECT_FALSE(cache.Lookup(1, 0, 10.0, &d));
+}
+
+TEST(DistanceCacheTest, ClearDropsEverythingAndKeepsCounters) {
+  DistanceCache cache;
+  cache.Insert(1, 1, 10.0, 1.0);
+  double d = 0.0;
+  ASSERT_TRUE(cache.Lookup(1, 1, 10.0, &d));
+  cache.Clear();
+  EXPECT_FALSE(cache.Lookup(1, 1, 10.0, &d));
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(DistanceCacheTest, ConcurrentHammerKeepsEntriesConsistent) {
+  // 8 threads × overlapping key ranges. Every thread inserts the canonical
+  // value f(u, o) and checks that any hit returns either that exact value
+  // or a sound inf proof — never a torn or foreign value.
+  DistanceCacheOptions options;
+  options.max_entries = 1024;
+  options.num_shards = 8;
+  DistanceCache cache(options);
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 512;
+  constexpr int kIters = 4000;
+  auto canonical = [](UserId u, PoiId o) {
+    return static_cast<double>(u * 31 + o * 7 + 1);
+  };
+  std::vector<std::thread> threads;
+  std::atomic<int> violations{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      uint64_t state = 0x9e3779b9u + static_cast<uint64_t>(t);
+      for (int i = 0; i < kIters; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const UserId u = static_cast<UserId>((state >> 33) % kKeys);
+        const PoiId o = static_cast<PoiId>((state >> 17) % kKeys);
+        const double want = canonical(u, o);
+        if ((state & 3) == 0) {
+          cache.Insert(u, o, /*bound=*/1e9, want);
+        } else if ((state & 3) == 1) {
+          // A weaker inf proof; must never clobber the finite value.
+          cache.Insert(u, o, /*bound=*/0.5, kInfDistance);
+        } else {
+          double d = 0.0;
+          if (cache.Lookup(u, o, 1e9, &d) && d != want) ++violations;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(violations.load(), 0);
+  const auto stats = cache.GetStats();
+  EXPECT_LE(stats.entries, options.max_entries);
+  EXPECT_GT(stats.insertions, 0u);
+}
+
+}  // namespace
+}  // namespace gpssn

@@ -162,6 +162,50 @@ TEST(DijkstraTest, MultiSeedRun) {
   EXPECT_NEAR(engine.Distance(1), 1.0, 1e-12);
 }
 
+TEST(DijkstraTest, RunWithTargetsTerminatesEarlyWithDuplicateTargets) {
+  // Regression: duplicate entries in `targets` used to inflate the
+  // remaining-target count past what settling could clear, so the early
+  // termination never fired and the search exhausted the bound.
+  const TestGraph t = RandomGraph(40, 0.15, 77);
+  if (t.g.num_vertices() < 5) GTEST_SKIP();
+  DijkstraEngine with_dups(&t.g);
+  DijkstraEngine reference(&t.g);
+  const VertexId target = 3;
+  reference.RunWithTargets({{0, 0.0}}, kInfDistance, {target});
+  with_dups.RunWithTargets({{0, 0.0}}, kInfDistance,
+                           {target, target, target, target});
+  EXPECT_EQ(with_dups.Distance(target), reference.Distance(target));
+  // Early termination must stop both searches at the same frontier.
+  EXPECT_EQ(with_dups.Settled().size(), reference.Settled().size());
+}
+
+TEST(DijkstraTest, RunWithTargetsDistancesStayExact) {
+  const TestGraph t = RandomGraph(30, 0.2, 81);
+  Rng rng(9);
+  DijkstraEngine engine(&t.g);
+  for (int trial = 0; trial < 20; ++trial) {
+    const VertexId s =
+        static_cast<VertexId>(rng.NextBounded(t.g.num_vertices()));
+    std::vector<VertexId> targets;
+    for (int i = 0; i < 5; ++i) {
+      targets.push_back(
+          static_cast<VertexId>(rng.NextBounded(t.g.num_vertices())));
+    }
+    targets.push_back(targets.front());  // Deliberate duplicate.
+    engine.RunWithTargets({{s, 0.0}}, kInfDistance, targets);
+    // Every target must be settled at its true distance (unless
+    // unreachable); the early cut may only stop AFTER the last target.
+    for (VertexId v : targets) {
+      const double want = t.apsp[s][v];
+      if (std::isfinite(want)) {
+        ASSERT_NEAR(engine.Distance(v), want, 1e-9) << s << "->" << v;
+      } else {
+        ASSERT_EQ(engine.Distance(v), kInfDistance);
+      }
+    }
+  }
+}
+
 TEST(PoiLocatorTest, BallMatchesBruteForce) {
   const TestGraph t = RandomGraph(30, 0.15, 99);
   if (t.g.num_edges() < 3) GTEST_SKIP();
