@@ -3,13 +3,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <bit>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/pruning.h"
+#include "core/refinement.h"
 #include "core/scores.h"
+#include "core/social_scratch.h"
+#include "core/stats.h"
 #include "index/rstar_tree.h"
 #include "roadnet/astar.h"
 #include "roadnet/contraction_hierarchy.h"
@@ -312,6 +320,161 @@ void BM_UbMatchScoreBitVector(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UbMatchScoreBitVector);
+
+// ----- Social scoring kernels (SocialScratch fast path) -----
+//
+// Scalar vs SoA one-to-many interest scoring, hash-set vs bitset ESU
+// extension tests, and Corollary 2 with the pairwise memo off vs on. The
+// d sweep covers small/medium/large topic vocabularies; bench_smoke.sh
+// enforces the SoA kernel speedup at d=128.
+
+constexpr int kSocialRows = 256;
+
+// One query row scored against kSocialRows candidate rows, sequential
+// scalar kernel (span-based, one dependent accumulator chain).
+void BM_SocialScoreScalar(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(23);
+  std::vector<std::vector<double>> rows(kSocialRows);
+  for (auto& r : rows) {
+    r.resize(d);
+    for (double& x : r) x = rng.Bernoulli(0.5) ? rng.UniformDouble() : 0.0;
+  }
+  const std::vector<double> q = rows[0];
+  std::vector<double> out(kSocialRows);
+  for (auto _ : state) {
+    for (int i = 0; i < kSocialRows; ++i) {
+      out[i] = UserSimilarity(InterestMetric::kDotProduct, q, rows[i]);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kSocialRows);
+}
+BENCHMARK(BM_SocialScoreScalar)->Arg(8)->Arg(32)->Arg(128);
+
+// The same scoring through the padded SoA rows and the unrolled
+// multi-accumulator kernel (SoaSimilarityOneToMany).
+void BM_SocialScoreSoa(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t padded = (d + kSoaLaneWidth - 1) / kSoaLaneWidth *
+                        kSoaLaneWidth;
+  Rng rng(23);
+  std::vector<double> rows(kSocialRows * padded, 0.0);
+  for (int i = 0; i < kSocialRows; ++i) {
+    for (size_t f = 0; f < d; ++f) {
+      rows[i * padded + f] = rng.Bernoulli(0.5) ? rng.UniformDouble() : 0.0;
+    }
+  }
+  std::vector<double> out(kSocialRows);
+  for (auto _ : state) {
+    SoaSimilarityOneToMany(InterestMetric::kDotProduct, rows.data(),
+                           rows.data(), d, padded, kSocialRows, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kSocialRows);
+}
+BENCHMARK(BM_SocialScoreSoa)->Arg(8)->Arg(32)->Arg(128);
+
+// ESU extension probe, scalar shape: walk a candidate's CSR friend list,
+// test candidate membership and seen-ness through hash sets (what the
+// scalar GroupEnumerator does per extension step).
+void BM_EsuExtendHashSet(benchmark::State& state) {
+  const SocialNetwork& g = SharedSocial(2000);
+  const int n = kSocialRows;
+  std::unordered_map<UserId, int> cand_index;
+  for (int i = 0; i < n; ++i) cand_index.emplace(static_cast<UserId>(i), i);
+  std::unordered_set<UserId> seen;
+  for (int i = 0; i < n; i += 3) seen.insert(static_cast<UserId>(i));
+  for (auto _ : state) {
+    size_t extensions = 0;
+    for (int i = 0; i < n; ++i) {
+      for (UserId v : g.Friends(static_cast<UserId>(i))) {
+        if (cand_index.count(v) != 0 && seen.count(v) == 0) ++extensions;
+      }
+    }
+    benchmark::DoNotOptimize(extensions);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EsuExtendHashSet);
+
+// The same probe over SocialScratch's candidate-local adjacency bitsets:
+// one AND-NOT + popcount per word (what ScratchGroupEnumerator does).
+void BM_EsuExtendBitset(benchmark::State& state) {
+  const SocialNetwork& g = SharedSocial(2000);
+  const int n = kSocialRows;
+  GpssnQuery q;
+  q.issuer = 0;
+  q.gamma = 0.0;
+  std::vector<UserId> cands;
+  for (int i = 0; i < n; ++i) cands.push_back(static_cast<UserId>(i));
+  SocialScratch scratch;
+  scratch.Build(g, q, cands);
+  const size_t words = scratch.adj_words();
+  std::vector<uint64_t> seen(words, 0);
+  for (int i = 0; i < n; i += 3) seen[i >> 6] |= 1ULL << (i & 63);
+  for (auto _ : state) {
+    size_t extensions = 0;
+    for (int i = 0; i < n; ++i) {
+      const uint64_t* adj = scratch.AdjacencyRow(i);
+      for (size_t w = 0; w < words; ++w) {
+        extensions += static_cast<size_t>(std::popcount(adj[w] & ~seen[w]));
+      }
+    }
+    benchmark::DoNotOptimize(extensions);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EsuExtendBitset);
+
+const SocialNetwork& SharedSocialDim(int n, int d) {
+  static auto* cache = new std::map<std::pair<int, int>, SocialNetwork>();
+  const auto key = std::make_pair(n, d);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    SocialGenOptions options;
+    options.num_users = n;
+    options.num_topics = d;
+    options.seed = 3;
+    it = cache->emplace(key, GenerateSocialNetwork(options)).first;
+  }
+  return it->second;
+}
+
+void RunCorollary2(benchmark::State& state, bool memo) {
+  const int d = static_cast<int>(state.range(0));
+  const SocialNetwork& g = SharedSocialDim(512, d);
+  GpssnQuery q;
+  q.issuer = 0;
+  q.tau = 5;
+  q.gamma = 0.25;
+  std::vector<UserId> cands;
+  const int n_users = g.num_users();
+  for (int u = 0; u < n_users; ++u) cands.push_back(static_cast<UserId>(u));
+  SocialScratch scratch;
+  QueryStats stats;
+  for (auto _ : state) {
+    std::vector<UserId> work = cands;
+    if (memo) {
+      scratch.Build(g, q, work);
+      ApplyCorollary2(g, q, &work, &stats, &scratch);
+    } else {
+      ApplyCorollary2(g, q, &work, &stats);
+    }
+    benchmark::DoNotOptimize(work.size());
+  }
+  state.SetItemsProcessed(state.iterations() * cands.size());
+}
+
+void BM_Corollary2MemoOff(benchmark::State& state) {
+  RunCorollary2(state, /*memo=*/false);
+}
+BENCHMARK(BM_Corollary2MemoOff)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Corollary2MemoOn(benchmark::State& state) {
+  RunCorollary2(state, /*memo=*/true);
+}
+BENCHMARK(BM_Corollary2MemoOn)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_PruningRegionVectorTest(benchmark::State& state) {
   Rng rng(17);

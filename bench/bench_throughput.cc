@@ -8,16 +8,25 @@
 // repeated-issuer workload (cache off vs cold vs warm). When
 // GPSSN_BENCH_JSON is set, the cache comparison is also written to that
 // path as a JSON object (consumed by scripts/bench_smoke.sh).
+//
+// The third section sweeps intra-query refinement lanes (QueryOptions::
+// intra_query_pool) over one heavy query at 1/2/4/8 workers, verifies the
+// answers stay byte-identical, and measures a batch with and without
+// executor pool sharing (intra_query_sharing). GPSSN_BENCH_INTRA_JSON
+// writes the sweep as JSON (also consumed by scripts/bench_smoke.sh).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "roadnet/distance_cache.h"
 
 namespace gpssn::bench {
@@ -214,11 +223,168 @@ void Run() {
       "flat on a single-core host)\n");
 }
 
+// Picks the query with the heaviest serial refinement among a pool of
+// random issuers, so the lane sweep measures the phase the lanes actually
+// parallelize (a query that dies in Phase 1 would measure nothing).
+GpssnQuery PickHeavyQuery(GpssnDatabase* db) {
+  Rng rng(7);
+  GpssnQuery best = DefaultQuery();
+  double best_refine = -1.0;
+  for (int i = 0; i < 12; ++i) {
+    GpssnQuery q = DefaultQuery();
+    q.issuer = static_cast<UserId>(rng.NextBounded(db->ssn().num_users()));
+    q.tau = 3 + static_cast<int>(rng.NextBounded(3));
+    q.radius *= 1.5;  // Larger balls: more centers and groups to refine.
+    QueryStats stats;
+    auto result = db->Query(q, QueryOptions(), &stats);
+    if (result.ok() && stats.refine_seconds > best_refine) {
+      best_refine = stats.refine_seconds;
+      best = q;
+    }
+  }
+  return best;
+}
+
+// One heavy query, refinement lanes swept over 1/2/4/8 workers. Reports
+// best-of-reps refinement wall time per worker count and checks the answer
+// never drifts from the serial one (the determinism contract).
+void RunIntraQuerySweep() {
+  const BenchConfig config = GetConfig();
+  const int reps = 5;
+  std::printf(
+      "\n=== Intra-query parallel refinement: lane sweep on one heavy "
+      "query (best of %d reps, %u hardware threads) ===\n",
+      reps, std::thread::hardware_concurrency());
+
+  // Dense road network, as in the cache section: the lanes claim centers
+  // AND compute their exact-distance rows, so the workload must be
+  // refinement-bound for the sweep to measure anything.
+  DatasetOverrides overrides;
+  overrides.num_road_vertices =
+      std::max(8000, static_cast<int>(20000 * config.scale));
+  auto db = BuildDatabase(MakeDataset("UNI", config.scale, overrides));
+  const GpssnQuery query = PickHeavyQuery(db.get());
+
+  GpssnAnswer reference;
+  bool have_reference = false;
+  bool identical = true;
+  double refine_at_1 = 0.0;
+  double speedup[4] = {0.0, 0.0, 0.0, 0.0};
+  double refine_best[4] = {0.0, 0.0, 0.0, 0.0};
+  const int worker_counts[4] = {1, 2, 4, 8};
+
+  TablePrinter table({"workers", "lanes", "refine (ms)", "query (ms)",
+                      "speedup", "identical"});
+  for (int wi = 0; wi < 4; ++wi) {
+    const int workers = worker_counts[wi];
+    std::unique_ptr<ThreadPool> pool;
+    QueryOptions options;
+    if (workers > 1) {
+      pool = std::make_unique<ThreadPool>(workers - 1);
+      options.intra_query_pool = pool.get();
+      options.intra_query_workers = workers;
+    }
+    double best_refine = 0.0;
+    double best_wall = 0.0;
+    uint32_t lanes = 0;
+    bool config_identical = true;
+    for (int rep = 0; rep < reps; ++rep) {
+      QueryStats stats;
+      WallTimer timer;
+      auto result = db->Query(query, options, &stats);
+      const double wall = timer.ElapsedSeconds();
+      if (!result.ok()) continue;
+      if (!have_reference) {
+        reference = *result;
+        have_reference = true;
+      } else if (result->found != reference.found ||
+                 result->users != reference.users ||
+                 result->center != reference.center ||
+                 result->pois != reference.pois ||
+                 result->max_dist != reference.max_dist) {
+        config_identical = false;
+      }
+      if (rep == 0 || stats.refine_seconds < best_refine) {
+        best_refine = stats.refine_seconds;
+        best_wall = wall;
+      }
+      lanes = std::max(lanes, stats.intra_lanes_used);
+    }
+    identical = identical && config_identical;
+    refine_best[wi] = best_refine;
+    if (workers == 1) refine_at_1 = best_refine;
+    speedup[wi] = best_refine > 0.0 ? refine_at_1 / best_refine : 0.0;
+    table.AddRow({std::to_string(workers), std::to_string(lanes),
+                  TablePrinter::Num(best_refine * 1e3, 3),
+                  TablePrinter::Num(best_wall * 1e3, 3),
+                  TablePrinter::Num(speedup[wi], 2) + "x",
+                  config_identical ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf(
+      "(expected: refinement speedup tracking physical cores; ~1x on a "
+      "single-core host — the lanes only add an atomic claim per center)\n");
+
+  // Batch x intra combined: the executor shares ONE pool between the
+  // inter-query workers and the intra-query lanes, so turning sharing on
+  // must never oversubscribe — idle batch workers become refinement lanes.
+  const int num_queries = std::max(8, config.queries * 2);
+  auto workload = MakeWorkload(*db, num_queries, /*seed=*/44);
+  TablePrinter combo({"sharing", "wall (s)", "qps", "p99 (ms)"});
+  double qps_off = 0.0;
+  double qps_on = 0.0;
+  for (const bool sharing : {false, true}) {
+    BatchExecutorOptions options;
+    options.num_workers = 4;
+    options.intra_query_sharing = sharing;
+    GpssnBatchExecutor executor(&db->poi_index(), &db->social_index(),
+                                options);
+    executor.ExecuteAll(workload);  // Arena warm-up.
+    BatchStats stats;
+    executor.ExecuteAll(workload, &stats);
+    (sharing ? qps_on : qps_off) = stats.throughput_qps;
+    combo.AddRow({sharing ? "on" : "off",
+                  TablePrinter::Num(stats.wall_seconds, 3),
+                  TablePrinter::Num(stats.throughput_qps, 1),
+                  TablePrinter::Num(stats.latency_p99_seconds * 1e3, 2)});
+  }
+  std::printf("\n--- Batch (4 workers) with intra-query pool sharing ---\n");
+  combo.Print();
+
+  if (const char* json_path = std::getenv("GPSSN_BENCH_INTRA_JSON")) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f != nullptr) {
+      std::fprintf(
+          f,
+          "{\n"
+          "  \"bench\": \"intra_query_refinement\",\n"
+          "  \"hardware_threads\": %u,\n  \"reps\": %d,\n"
+          "  \"refine_seconds\": {\"w1\": %.6f, \"w2\": %.6f, "
+          "\"w4\": %.6f, \"w8\": %.6f},\n"
+          "  \"refine_speedup\": {\"w2\": %.3f, \"w4\": %.3f, "
+          "\"w8\": %.3f},\n"
+          "  \"answers_identical\": %s,\n"
+          "  \"batch_sharing_off_qps\": %.3f,\n"
+          "  \"batch_sharing_on_qps\": %.3f\n"
+          "}\n",
+          std::thread::hardware_concurrency(), reps, refine_best[0],
+          refine_best[1], refine_best[2], refine_best[3], speedup[1],
+          speedup[2], speedup[3], identical ? "true" : "false", qps_off,
+          qps_on);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path);
+    } else {
+      std::printf("could not open GPSSN_BENCH_INTRA_JSON=%s\n", json_path);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gpssn::bench
 
 int main() {
   gpssn::bench::Run();
   gpssn::bench::RunCacheComparison();
+  gpssn::bench::RunIntraQuerySweep();
   return 0;
 }

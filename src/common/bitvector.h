@@ -7,11 +7,18 @@
 // exactly what the matching-score *upper* bounds (Lemmas 1 and 6) need.
 // Lower bounds (Eq. 18) must not use these vectors; they use exact keyword
 // sets of sampled objects instead.
+//
+// DynamicBitset is the exact (collision-free) sibling: a plain variable-
+// width bitset over small integer ids, used for candidate-local adjacency
+// and keyword-union masks in the refinement phase, where set operations
+// become word-parallel AND / ANDNOT loops.
 
 #ifndef GPSSN_COMMON_BITVECTOR_H_
 #define GPSSN_COMMON_BITVECTOR_H_
 
 #include <array>
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -51,6 +58,58 @@ class KeywordBitVector {
 
  private:
   std::array<uint64_t, kWords> words_;
+};
+
+/// Exact variable-width bitset over ids in [0, size). Unlike
+/// KeywordBitVector there is no hashing: bit i means exactly "i is in the
+/// set". Word-level access is exposed so callers can fuse set algebra with
+/// iteration (adjacency ∧ active ∧ ¬seen in the ESU enumerator, masked row
+/// sums in MatchScore).
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(size_t size) { Reset(size); }
+
+  /// Resizes to `size` bits, all clear. Keeps word capacity.
+  void Reset(size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+  }
+
+  size_t size() const { return size_; }
+  size_t num_words() const { return words_.size(); }
+
+  void Set(size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  uint64_t Word(size_t w) const { return words_[w]; }
+  const uint64_t* words() const { return words_.data(); }
+
+  size_t PopCount() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+    return n;
+  }
+
+  /// Calls `fn(i)` for every set bit, ascending.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        fn(w * 64 + static_cast<size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
 };
 
 }  // namespace gpssn

@@ -100,6 +100,7 @@ void GpssnBatchExecutor::RunOne(int worker, BatchQueryResult* slot,
   QueryOptions options = options_.query;
   options.deadline = deadline;
   options.cancel = &cancel_;
+  if (options_.intra_query_sharing) options.intra_query_pool = &pool_;
 
   Result<GpssnAnswer> result =
       processors_[worker]->Execute(slot->query, options, &slot->stats);

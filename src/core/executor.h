@@ -43,6 +43,13 @@ struct BatchExecutorOptions {
   /// <= 0 means no deadline. Deadlines are armed at SUBMIT time, so queue
   /// waiting counts against them.
   double default_deadline_seconds = 0.0;
+  /// Lets each query fan its refinement phase out over the SAME worker
+  /// pool (QueryOptions::intra_query_pool = the executor's pool). Idle
+  /// workers become intra-query lanes; busy ones keep running their own
+  /// queries, so the pool is never oversubscribed and a query never waits
+  /// on helpers (the guard protocol in query.cc lets the issuing worker
+  /// finish alone). Answers stay byte-identical either way.
+  bool intra_query_sharing = false;
 };
 
 /// Outcome of one query of a batch, in submission order.

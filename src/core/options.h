@@ -17,6 +17,7 @@ namespace gpssn {
 class PruningAuditor;   // core/audit.h
 class DistanceBackend;  // roadnet/distance_backend.h
 class DistanceCache;    // roadnet/distance_cache.h
+class ThreadPool;       // common/thread_pool.h
 
 /// Cooperative per-query deadline. The processor polls Expired() at its
 /// descent-loop, heap-round, and refinement boundaries and abandons the
@@ -125,9 +126,33 @@ struct QueryOptions {
   /// notifies it on every pruned candidate and it re-tests a sample against
   /// the brute-force predicates. Null disables auditing; GPSSN_AUDIT builds
   /// install a per-processor default when this is null. Not thread-safe —
-  /// do not share one auditor across concurrent queries. The pointee must
-  /// outlive the query.
+  /// do not share one auditor across concurrent queries (the intra-query
+  /// refinement lanes serialize their notifications behind a mutex). The
+  /// pointee must outlive the query.
   PruningAuditor* auditor = nullptr;
+  /// Intra-query parallel refinement: when non-null, the refinement center
+  /// loop fans out over this pool (the submitting thread participates as
+  /// lane 0, so the pool may be the batch executor's own — helpers that
+  /// never get a worker are simply skipped and the query completes on the
+  /// caller alone; no oversubscription, no deadlock). Deterministic: the
+  /// reported answers are byte-identical to the serial path at any worker
+  /// count (see DESIGN.md §10). Null (default) keeps the seed-exact serial
+  /// loop. The pool must outlive the query.
+  ThreadPool* intra_query_pool = nullptr;
+  /// Caps the refinement lanes (claiming caller + pool helpers) when
+  /// intra_query_pool is set; 0 means pool size + 1.
+  int intra_query_workers = 0;
+  /// Vectorized social kernels: build a per-query SocialScratch (SoA
+  /// interest matrix + pairwise-score memo + adjacency bitsets) and route
+  /// ApplyCorollary2 / EnumerateGroups / MatchScore through it. The
+  /// matching-score path is bit-identical to the scalar kernels; pairwise
+  /// Interest_Score sums may differ by final-ULP rounding (different
+  /// summation order), which can flip exact-threshold ties. Default off =
+  /// seed-exact scalar kernels.
+  bool vectorized_social_kernels = false;
+  /// Candidate-count ceiling for the SocialScratch (its pair memo is
+  /// O(n²/2) bytes); above it the query falls back to the scalar kernels.
+  int social_scratch_max_candidates = 4096;
 };
 
 }  // namespace gpssn

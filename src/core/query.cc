@@ -1,10 +1,16 @@
 #include "core/query.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <queue>
+#include <tuple>
 #include <unordered_map>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/audit.h"
 #include "core/pruning.h"
@@ -13,6 +19,23 @@
 #include "roadnet/distance_cache.h"
 
 namespace gpssn {
+
+// One lane of the intra-query parallel refinement. Lane 0 is the calling
+// thread (it reuses the processor's main distance engine); helper lanes own
+// a private engine because engine arenas are not thread-safe. The row cache
+// mirrors RefineScratch's stamped layout but is lane-private: during the
+// parallel region the shared scratch is read-only (only rows computed
+// BEFORE the fan-out — the issuer's — live there), so lanes never race on
+// it. Reused across queries; declared in query.h.
+struct IntraLane {
+  const DistanceBackend* source = nullptr;  // Backend `engine` came from.
+  std::unique_ptr<DistanceEngine> engine;   // Null for lane 0.
+  uint32_t generation = 0;
+  std::vector<uint32_t> user_stamp;
+  std::vector<int32_t> user_row;
+  std::vector<double> rows;
+  std::unordered_map<uint64_t, bool> match_memo;  // (user, center) -> ok.
+};
 
 namespace {
 
@@ -33,6 +56,10 @@ struct CenterInfo {
   std::vector<std::pair<PoiId, double>> ball_dists;  // From the center.
   std::vector<KeywordId> union_keywords;   // ∪_{o∈R} o.K.
   bool issuer_matches = false;
+  // Bitset form of union_keywords, built only when the SoA social scratch
+  // is live; MaskedMatchScore over it is bit-identical to MatchScore.
+  DynamicBitset keyword_mask;
+  bool has_mask = false;
 };
 
 // Accrues elapsed wall time into *out on destruction; attributes phase
@@ -79,6 +106,8 @@ GpssnProcessor::GpssnProcessor(const PoiIndex* poi_index,
       std::make_unique<PruningAuditor>(poi_index, social_index);
 #endif
 }
+
+GpssnProcessor::~GpssnProcessor() = default;
 
 DistanceEngine* GpssnProcessor::EngineFor(const QueryOptions& options) {
   if (options.distance_backend == nullptr) return default_engine_.get();
@@ -528,8 +557,21 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
     user_cands = std::move(kept);
   }
 
+  // SoA social scratch: built once from the surviving candidates;
+  // Corollary 2, the ESU enumerator, and the matching-score checks below
+  // all share its aligned interest matrix, adjacency bitsets, and pairwise
+  // memo. The memo is O(n²/2) bytes, so very large candidate sets fall
+  // back to the scalar kernels.
+  SocialScratch* social_scratch = nullptr;
+  if (options.vectorized_social_kernels &&
+      user_cands.size() <=
+          static_cast<size_t>(options.social_scratch_max_candidates)) {
+    social_scratch_.Build(social, query, user_cands);
+    social_scratch = &social_scratch_;
+  }
+
   if (flags.interest_score) {
-    ApplyCorollary2(social, query, &user_cands, stats);
+    ApplyCorollary2(social, query, &user_cands, stats, social_scratch);
   }
 
   std::vector<std::vector<UserId>> groups;
@@ -538,11 +580,14 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
                  options.seed, &groups);
   } else {
     if (!EnumerateGroups(social, query, user_cands, options.max_groups,
-                         &groups)) {
+                         &groups, social_scratch)) {
       stats->truncated = true;
     }
   }
   stats->groups_enumerated = groups.size();
+  if (social_scratch != nullptr) {
+    stats->interest_pairs_scored += social_scratch->pairs_scored();
+  }
 
   // Up to top_k answers, kept sorted by ascending objective.
   std::vector<GpssnAnswer> best;
@@ -604,6 +649,11 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
     info.union_keywords = UnionKeywords(ssn, info.ball);
     info.issuer_matches =
         MatchScore(ctx.w_q, info.union_keywords) >= query.theta;
+    if (social_scratch != nullptr) {
+      social_scratch->BuildKeywordMask(info.union_keywords,
+                                       &info.keyword_mask);
+      info.has_mask = true;
+    }
     return center_cache.emplace(c, std::move(info)).first->second;
   };
 
@@ -700,95 +750,449 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
     centers = std::move(exact_centers);
   }
 
-  int64_t pair_budget = options.max_refine_pairs;
-  poll_stride = 0;
-  for (const auto& [center_lb, c] : centers) {
-    if (interrupted_now()) {
-      *interrupted = true;
-      return {};
+  // Matching-score predicate of one member against a ball's union
+  // keywords. The SoA masked row sum adds the same interest weights in
+  // the same (keyword-ascending) order as the scalar MatchScore, so the
+  // two paths are bit-identical.
+  auto compute_match = [&](UserId u, const CenterInfo& info) {
+    if (info.has_mask) {
+      const int idx = social_scratch->IndexOf(u);
+      if (idx >= 0) {
+        return social_scratch->MatchRow(idx, info.keyword_mask) >=
+               query.theta;
+      }
     }
-    if (center_lb >= bound()) break;
-    const CenterInfo& info = get_center(c);
-    if (info.ball.empty()) continue;
-    if (!info.issuer_matches) continue;
-    const PoiAug& center_aug = poi_index_->poi_aug(c);
+    return MatchScore(social.Interests(u), info.union_keywords) >=
+           query.theta;
+  };
 
-    for (const auto& group : groups) {
-      if ((++poll_stride & 63u) == 0 && interrupted_now()) {
+  int64_t pair_budget = options.max_refine_pairs;
+  // Lane count of the intra-query parallel refinement: the caller plus up
+  // to intra_query_workers − 1 pool helpers (never more than the pool has
+  // threads, never more lanes than centers). 1 lane = the serial loop.
+  int max_lanes = 1;
+  if (options.intra_query_pool != nullptr && !centers.empty()) {
+    max_lanes = options.intra_query_pool->num_threads() + 1;
+    if (options.intra_query_workers > 0) {
+      max_lanes = std::min(max_lanes, options.intra_query_workers);
+    }
+    max_lanes =
+        std::min(max_lanes, static_cast<int>(centers.size()));
+    max_lanes = std::max(max_lanes, 1);
+  }
+
+  if (max_lanes <= 1) {
+    poll_stride = 0;
+    for (const auto& [center_lb, c] : centers) {
+      if (interrupted_now()) {
         *interrupted = true;
         return {};
       }
-      // Pivot lower bound of the pair objective (Lemma 5).
-      double pair_lb = center_lb;
-      for (UserId u : group) {
-        const double user_lb = LbUserPoiDist(
-            social_index_->user_road_pivot_dists(u), center_aug);
-        if (auditor != nullptr) {
-          auditor->OnPairDistanceBound(ctx, u, c, user_lb);
-        }
-        pair_lb = std::max(pair_lb, user_lb);
-      }
-      if (pair_lb >= bound()) continue;
+      if (center_lb >= bound()) break;
+      const CenterInfo& info = get_center(c);
+      if (info.ball.empty()) continue;
+      if (!info.issuer_matches) continue;
+      const PoiAug& center_aug = poi_index_->poi_aug(c);
 
-      // Matching-score predicate for every member (memoized).
-      bool all_match = true;
-      for (UserId u : group) {
-        const uint64_t key =
-            (static_cast<uint64_t>(u) << 32) | static_cast<uint32_t>(c);
-        auto mit = match_memo.find(key);
-        bool ok;
-        if (mit != match_memo.end()) {
-          ok = mit->second;
-        } else {
-          ok = MatchScore(social.Interests(u), info.union_keywords) >=
-               query.theta;
-          match_memo.emplace(key, ok);
+      for (const auto& group : groups) {
+        if ((++poll_stride & 63u) == 0 && interrupted_now()) {
+          *interrupted = true;
+          return {};
         }
-        if (!ok) {
-          all_match = false;
-          break;
+        // Pivot lower bound of the pair objective (Lemma 5).
+        double pair_lb = center_lb;
+        for (UserId u : group) {
+          const double user_lb = LbUserPoiDist(
+              social_index_->user_road_pivot_dists(u), center_aug);
+          if (auditor != nullptr) {
+            auditor->OnPairDistanceBound(ctx, u, c, user_lb);
+          }
+          pair_lb = std::max(pair_lb, user_lb);
         }
-      }
-      if (!all_match) continue;
+        if (pair_lb >= bound()) continue;
 
-      // Exact objective: maxdist_RN(S, B(c, r)). The budget caps only these
-      // expensive evaluations; lower-bound skips above are O(h) and free.
-      if (--pair_budget < 0) {
-        stats->truncated = true;
-        break;
-      }
-      ++stats->pairs_examined;
-      double obj = 0.0;
-      bool feasible = true;
-      for (UserId u : group) {
-        const double* dists = get_user_dists(u, bound());
-        for (PoiId o : info.ball) {
-          const double d = dists[scr.poi_slot[o]];
-          if (d >= kInfDistance) {
-            feasible = false;  // Distance beyond the bound: cannot win.
+        // Matching-score predicate for every member (memoized).
+        bool all_match = true;
+        for (UserId u : group) {
+          const uint64_t key =
+              (static_cast<uint64_t>(u) << 32) | static_cast<uint32_t>(c);
+          auto mit = match_memo.find(key);
+          bool ok;
+          if (mit != match_memo.end()) {
+            ok = mit->second;
+          } else {
+            ok = compute_match(u, info);
+            match_memo.emplace(key, ok);
+          }
+          if (!ok) {
+            all_match = false;
             break;
           }
-          obj = std::max(obj, d);
         }
-        if (!feasible || obj >= bound()) {
-          feasible = false;
+        if (!all_match) continue;
+
+        // Exact objective: maxdist_RN(S, B(c, r)). The budget caps only
+        // these expensive evaluations; lower-bound skips above are O(h)
+        // and free.
+        if (--pair_budget < 0) {
+          stats->truncated = true;
           break;
         }
+        ++stats->pairs_examined;
+        double obj = 0.0;
+        bool feasible = true;
+        for (UserId u : group) {
+          const double* dists = get_user_dists(u, bound());
+          for (PoiId o : info.ball) {
+            const double d = dists[scr.poi_slot[o]];
+            if (d >= kInfDistance) {
+              feasible = false;  // Distance beyond the bound: cannot win.
+              break;
+            }
+            obj = std::max(obj, d);
+          }
+          if (!feasible || obj >= bound()) {
+            feasible = false;
+            break;
+          }
+        }
+        if (!feasible) continue;
+        GpssnAnswer answer;
+        answer.found = true;
+        answer.users = group;
+        answer.center = c;
+        answer.pois = info.ball;
+        answer.max_dist = obj;
+        auto it = std::upper_bound(
+            best.begin(), best.end(), obj,
+            [](double v, const GpssnAnswer& a) { return v < a.max_dist; });
+        best.insert(it, std::move(answer));
+        if (static_cast<int>(best.size()) > top_k) best.pop_back();
       }
-      if (!feasible) continue;
-      GpssnAnswer answer;
-      answer.found = true;
-      answer.users = group;
-      answer.center = c;
-      answer.pois = info.ball;
-      answer.max_dist = obj;
-      auto it = std::upper_bound(
-          best.begin(), best.end(), obj,
-          [](double v, const GpssnAnswer& a) { return v < a.max_dist; });
-      best.insert(it, std::move(answer));
-      if (static_cast<int>(best.size()) > top_k) best.pop_back();
+      if (pair_budget < 0) break;
     }
-    if (pair_budget < 0) break;
+  } else {
+    // ------------------------------------------------- Parallel refinement
+    // Deterministic parallel-for over the sorted centers. Lanes claim
+    // center indices off an atomic cursor and keep private top-k lists
+    // keyed by (objective, center position, group index). The serial loop
+    // reports exactly the key-minimal k feasible candidates (its
+    // upper_bound insert keeps the first-encountered — i.e. key-minimal —
+    // answer among equal objectives), so merging the lane lists by key and
+    // truncating to k reproduces the serial answers byte for byte at any
+    // lane count. Lane-side pruning uses STRICT comparisons against a
+    // monotone-decreasing bound (a shared CAS-min incumbent for k = 1, the
+    // lane-local k-th objective otherwise): a candidate equal to the bound
+    // may still win the key tie-break, so only strictly-worse ones are
+    // dropped — never more than the serial loop drops. See DESIGN.md §10.
+    struct LaneBest {
+      double obj;
+      size_t center_pos;
+      size_t group_idx;
+      GpssnAnswer answer;
+    };
+    auto lane_key_less = [](const LaneBest& a, const LaneBest& b) {
+      return std::tie(a.obj, a.center_pos, a.group_idx) <
+             std::tie(b.obj, b.center_pos, b.group_idx);
+    };
+    struct LaneData {
+      std::vector<LaneBest> best;
+      QueryStats stats;
+      uint64_t claimed = 0;  // Centers this lane actually processed.
+    };
+
+    while (intra_lanes_.size() < static_cast<size_t>(max_lanes)) {
+      intra_lanes_.push_back(std::make_unique<IntraLane>());
+    }
+    const DistanceBackend* lane_backend = options.distance_backend != nullptr
+                                              ? options.distance_backend
+                                              : default_backend_.get();
+    const size_t num_users = static_cast<size_t>(ssn.num_users());
+    std::vector<DistanceEngine*> lane_engine(max_lanes);
+    lane_engine[0] = &dist_engine;
+    // Lane pools charge the same logical accesses the serial loop would;
+    // lane 0 reuses the main pool (it is the only thread touching it).
+    std::vector<std::unique_ptr<BufferPool>> lane_pools(max_lanes);
+    std::vector<uint8_t> lane_targets_ready(max_lanes, 0);
+    lane_targets_ready[0] = targets_set ? 1 : 0;
+    for (int lane = 0; lane < max_lanes; ++lane) {
+      IntraLane& ln = *intra_lanes_[lane];
+      if (lane > 0) {
+        if (ln.source != lane_backend || ln.engine == nullptr) {
+          ln.engine = lane_backend->CreateEngine();
+          ln.source = lane_backend;
+        }
+        lane_engine[lane] = ln.engine.get();
+        lane_pools[lane] =
+            std::make_unique<BufferPool>(options.buffer_pool_pages);
+      }
+      if (ln.user_stamp.size() < num_users) {
+        ln.user_stamp.resize(num_users, 0);
+        ln.user_row.resize(num_users, 0);
+      }
+      ++ln.generation;
+      if (ln.generation == 0) {  // Stamp wrap-around: hard reset.
+        std::fill(ln.user_stamp.begin(), ln.user_stamp.end(), 0);
+        ln.generation = 1;
+      }
+      ln.rows.clear();
+      ln.match_memo.clear();
+    }
+
+    std::vector<LaneData> lanes(max_lanes);
+    std::atomic<size_t> cursor{0};
+    std::atomic<bool> par_stop{false};
+    std::atomic<bool> par_interrupted{false};
+    std::atomic<int64_t> par_budget{pair_budget};
+    std::atomic<double> shared_bound{kInfDistance};
+    std::mutex audit_mu;  // Auditor hooks are not thread-safe.
+
+    auto publish_bound = [&](double v) {
+      double cur = shared_bound.load(std::memory_order_relaxed);
+      while (v < cur && !shared_bound.compare_exchange_weak(
+                            cur, v, std::memory_order_relaxed)) {
+      }
+    };
+
+    // Lane-private row of exact distances, same layout and bound-tagging
+    // as get_user_dists. The shared scratch is consulted read-only (only
+    // pre-fan-out rows — the issuer's — are stamped there); rows computed
+    // under an earlier, looser bound stay sound because bounds only
+    // decrease (a kInfDistance entry proves d > bound-at-compute >= any
+    // later bound).
+    auto lane_user_dists = [&](int lane, LaneData& ld, UserId u,
+                               double bnd) -> const double* {
+      const size_t width = scr.needed.size();
+      if (scr.user_stamp[u] == scr.generation) {
+        return scr.rows.data() + static_cast<size_t>(scr.user_row[u]) * width;
+      }
+      IntraLane& ln = *intra_lanes_[lane];
+      if (ln.user_stamp[u] == ln.generation) {
+        return ln.rows.data() + static_cast<size_t>(ln.user_row[u]) * width;
+      }
+      if (!lane_targets_ready[lane]) {
+        lane_engine[lane]->SetTargets(scr.needed_positions);
+        lane_targets_ready[lane] = 1;
+      }
+      const int32_t row_index =
+          width == 0 ? 0 : static_cast<int32_t>(ln.rows.size() / width);
+      ln.rows.resize(ln.rows.size() + width);
+      double* row = ln.rows.data() + static_cast<size_t>(row_index) * width;
+      bool have_row = false;
+      if (options.distance_cache != nullptr && width > 0) {
+        bool all_hit = true;
+        for (size_t i = 0; i < width; ++i) {
+          if (!options.distance_cache->Lookup(u, scr.needed[i], bnd,
+                                              &row[i])) {
+            all_hit = false;
+            break;
+          }
+        }
+        if (all_hit) {
+          ++ld.stats.dist_cache_row_hits;
+          have_row = true;
+        } else {
+          ++ld.stats.dist_cache_row_misses;
+        }
+      }
+      if (!have_row) {
+        const ScopedPhaseTimer exact_phase(&ld.stats.exact_dist_seconds);
+        lane_engine[lane]->SourceToTargets(ssn.user_home(u), bnd, row);
+        ++ld.stats.exact_distance_evals;
+        if (options.distance_cache != nullptr) {
+          for (size_t i = 0; i < width; ++i) {
+            options.distance_cache->Insert(u, scr.needed[i], bnd, row[i]);
+          }
+        }
+      }
+      (lane == 0 ? pool : *lane_pools[lane])
+          .Access(social_index_->user_page(u));
+      ln.user_stamp[u] = ln.generation;
+      ln.user_row[u] = row_index;
+      return row;
+    };
+
+    auto run_lane = [&](int lane) {
+      LaneData& ld = lanes[lane];
+      IntraLane& ln = *intra_lanes_[lane];
+      auto lane_bound = [&]() {
+        if (top_k == 1) return shared_bound.load(std::memory_order_relaxed);
+        return static_cast<int>(ld.best.size()) < top_k
+                   ? kInfDistance
+                   : ld.best.back().obj;
+      };
+      uint32_t stride = 0;
+      for (;;) {
+        if (par_stop.load(std::memory_order_relaxed)) break;
+        const size_t ci = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (ci >= centers.size()) break;
+        if (interrupted_now()) {
+          par_interrupted.store(true, std::memory_order_relaxed);
+          par_stop.store(true, std::memory_order_relaxed);
+          break;
+        }
+        const auto& [center_lb, c] = centers[ci];
+        // Centers are sorted by lb and the bound only decreases, so every
+        // unclaimed center is strictly worse too: stop claiming.
+        if (center_lb > lane_bound()) break;
+        ++ld.claimed;
+        const CenterInfo& info = center_cache.find(c)->second;
+        if (info.ball.empty()) continue;
+        if (!info.issuer_matches) continue;
+        const PoiAug& center_aug = poi_index_->poi_aug(c);
+
+        for (size_t gi = 0; gi < groups.size(); ++gi) {
+          if ((++stride & 63u) == 0) {
+            if (par_stop.load(std::memory_order_relaxed)) break;
+            if (interrupted_now()) {
+              par_interrupted.store(true, std::memory_order_relaxed);
+              par_stop.store(true, std::memory_order_relaxed);
+              break;
+            }
+          }
+          const auto& group = groups[gi];
+          double pair_lb = center_lb;
+          for (UserId u : group) {
+            const double user_lb = LbUserPoiDist(
+                social_index_->user_road_pivot_dists(u), center_aug);
+            if (auditor != nullptr) {
+              std::lock_guard<std::mutex> lock(audit_mu);
+              auditor->OnPairDistanceBound(ctx, u, c, user_lb);
+            }
+            pair_lb = std::max(pair_lb, user_lb);
+          }
+          if (pair_lb > lane_bound()) continue;
+
+          bool all_match = true;
+          for (UserId u : group) {
+            const uint64_t key =
+                (static_cast<uint64_t>(u) << 32) | static_cast<uint32_t>(c);
+            auto mit = ln.match_memo.find(key);
+            bool ok;
+            if (mit != ln.match_memo.end()) {
+              ok = mit->second;
+            } else {
+              ok = compute_match(u, info);
+              ln.match_memo.emplace(key, ok);
+            }
+            if (!ok) {
+              all_match = false;
+              break;
+            }
+          }
+          if (!all_match) continue;
+
+          if (par_budget.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+            ld.stats.truncated = true;
+            par_stop.store(true, std::memory_order_relaxed);
+            break;
+          }
+          ++ld.stats.pairs_examined;
+          double obj = 0.0;
+          bool feasible = true;
+          for (UserId u : group) {
+            const double* dists = lane_user_dists(lane, ld, u, lane_bound());
+            for (PoiId o : info.ball) {
+              const double d = dists[scr.poi_slot[o]];
+              if (d >= kInfDistance) {
+                feasible = false;
+                break;
+              }
+              obj = std::max(obj, d);
+            }
+            if (!feasible || obj > lane_bound()) {
+              feasible = false;
+              break;
+            }
+          }
+          if (!feasible) continue;
+          LaneBest entry;
+          entry.obj = obj;
+          entry.center_pos = ci;
+          entry.group_idx = gi;
+          entry.answer.found = true;
+          entry.answer.users = group;
+          entry.answer.center = c;
+          entry.answer.pois = info.ball;
+          entry.answer.max_dist = obj;
+          auto pos = std::upper_bound(ld.best.begin(), ld.best.end(), entry,
+                                      lane_key_less);
+          ld.best.insert(pos, std::move(entry));
+          if (static_cast<int>(ld.best.size()) > top_k) ld.best.pop_back();
+          if (top_k == 1 && !ld.best.empty()) {
+            publish_bound(ld.best.front().obj);
+          }
+        }
+      }
+    };
+
+    // Fan out: helpers register under the guard before doing any work, the
+    // caller runs lane 0 itself, then closes the guard and waits only for
+    // helpers that actually registered. A helper still queued behind other
+    // pool work when the query finishes sees `closed` and no-ops (its only
+    // capture-by-value is the shared_ptr guard), so sharing the batch
+    // executor's pool can never deadlock: the caller finishes alone when
+    // no pool thread is free. ThreadPool::WaitAll is deliberately NOT used
+    // here — it would wait on unrelated batch tasks.
+    struct IntraGuard {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool closed = false;
+      int running = 0;
+    };
+    auto guard = std::make_shared<IntraGuard>();
+    std::atomic<int> lane_counter{1};
+    for (int i = 0; i < max_lanes - 1; ++i) {
+      options.intra_query_pool->Submit(
+          [guard, &run_lane, &lane_counter](int) {
+            {
+              std::lock_guard<std::mutex> lock(guard->mu);
+              if (guard->closed) return;
+              ++guard->running;
+            }
+            const int lane =
+                lane_counter.fetch_add(1, std::memory_order_relaxed);
+            run_lane(lane);
+            {
+              std::lock_guard<std::mutex> lock(guard->mu);
+              --guard->running;
+            }
+            guard->cv.notify_all();
+          });
+    }
+    run_lane(0);
+    {
+      std::unique_lock<std::mutex> lock(guard->mu);
+      guard->closed = true;
+      guard->cv.wait(lock, [&] { return guard->running == 0; });
+    }
+
+    if (par_interrupted.load(std::memory_order_relaxed)) {
+      *interrupted = true;
+      return {};
+    }
+
+    // Merge: min-k of the keyed union == the serial loop's answer list.
+    std::vector<LaneBest> merged;
+    uint32_t lanes_used = 0;
+    for (LaneData& ld : lanes) {
+      if (ld.claimed > 0) ++lanes_used;
+      for (LaneBest& e : ld.best) merged.push_back(std::move(e));
+    }
+    std::sort(merged.begin(), merged.end(), lane_key_less);
+    if (static_cast<int>(merged.size()) > top_k) merged.resize(top_k);
+    best.clear();
+    for (LaneBest& e : merged) best.push_back(std::move(e.answer));
+    stats->intra_lanes_used = std::max(stats->intra_lanes_used, lanes_used);
+    for (int lane = 0; lane < max_lanes; ++lane) {
+      LaneData& ld = lanes[lane];
+      if (lane > 0) {
+        ld.stats.io.logical_accesses +=
+            lane_pools[lane]->stats().logical_accesses;
+        ld.stats.io.page_misses += lane_pools[lane]->stats().page_misses;
+      }
+      stats->MergeFrom(ld.stats);
+    }
   }
 
   stats->io.logical_accesses += pool.stats().logical_accesses;

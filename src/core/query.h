@@ -23,6 +23,7 @@
 #include "common/result.h"
 #include "core/audit.h"
 #include "core/options.h"
+#include "core/social_scratch.h"
 #include "core/stats.h"
 #include "index/poi_index.h"
 #include "index/social_index.h"
@@ -31,6 +32,11 @@
 #include "socialnet/bfs.h"
 
 namespace gpssn {
+
+// Per-lane persistent state of the intra-query parallel refinement
+// (defined in query.cc): a private distance engine plus stamped row/memo
+// caches, reused across queries so lane setup is O(changed state).
+struct IntraLane;
 
 /// A GP-SSN answer: the user group S, the ball center o_i, and the POI set
 /// R = B(o_i, r).
@@ -53,6 +59,7 @@ class GpssnProcessor {
   /// installs a default sampling PruningAuditor used whenever
   /// QueryOptions::auditor is null.
   GpssnProcessor(const PoiIndex* poi_index, const SocialIndex* social_index);
+  ~GpssnProcessor();
 
   /// Answers one GP-SSN query. On success `stats` (optional) carries CPU
   /// time, page I/Os, and pruning counters. Returns InvalidArgument for
@@ -122,6 +129,14 @@ class GpssnProcessor {
   const DistanceBackend* plugged_source_ = nullptr;
   std::unique_ptr<DistanceEngine> plugged_engine_;
   RefineScratch scratch_;
+  // Per-query SoA social scratch (candidate interest matrix, adjacency
+  // bitsets, pairwise-score memo); rebuilt only when
+  // QueryOptions::vectorized_social_kernels is on and the candidate set
+  // fits social_scratch_max_candidates.
+  SocialScratch social_scratch_;
+  // Lanes of the intra-query parallel refinement, lane 0 = the caller.
+  // Grown on demand, reused across queries.
+  std::vector<std::unique_ptr<IntraLane>> intra_lanes_;
   // Non-null only in GPSSN_AUDIT builds: the default pruning-soundness
   // auditor (abort-on-violation) used when the caller supplies none.
   std::unique_ptr<PruningAuditor> default_auditor_;

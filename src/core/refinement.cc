@@ -1,6 +1,7 @@
 #include "core/refinement.h"
 
 #include <algorithm>
+#include <bit>
 #include <set>
 
 #include "common/macros.h"
@@ -69,37 +70,92 @@ double SparseSimilarity(InterestMetric metric, const SparseInterests& a,
   return 0.0;
 }
 
+// The count-based core of Corollary 2 with per-user early termination.
+// `fails(i, j)` evaluates the pairwise predicate for candidate positions
+// i < j. A user's decision is FINAL as soon as its failure count reaches
+// the threshold (removal certain) or cannot reach it with the pairs still
+// pending (kept certain); the issuer's decision (kept) is final from the
+// start. A pair is skipped only when BOTH endpoints are final, so every
+// still-open user sees every one of its pairs — the resulting removed set
+// is exactly the one full evaluation produces, at a fraction of the pair
+// evaluations.
+template <typename FailFn>
+void Corollary2Counts(const GpssnQuery& query,
+                      const std::vector<UserId>& candidates,
+                      int64_t fail_threshold, FailFn&& fails,
+                      std::vector<int64_t>* failures) {
+  const size_t count = candidates.size();
+  std::vector<int64_t> pending(count, static_cast<int64_t>(count) - 1);
+  std::vector<char> decided(count, 0);
+  size_t undecided = count;
+  auto update = [&](size_t k) {
+    if (decided[k]) return;
+    if (candidates[k] == query.issuer ||
+        (*failures)[k] >= fail_threshold ||
+        (*failures)[k] + pending[k] < fail_threshold) {
+      decided[k] = 1;
+      --undecided;
+    }
+  };
+  for (size_t k = 0; k < count; ++k) update(k);
+  for (size_t i = 0; i < count && undecided > 0; ++i) {
+    for (size_t j = i + 1; j < count; ++j) {
+      if (decided[i] && decided[j]) continue;
+      if (fails(i, j)) {
+        ++(*failures)[i];
+        ++(*failures)[j];
+      }
+      --pending[i];
+      --pending[j];
+      update(i);
+      update(j);
+      if (undecided == 0) break;
+    }
+  }
+}
+
 }  // namespace
 
 void ApplyCorollary2(const SocialNetwork& social, const GpssnQuery& query,
-                     std::vector<UserId>* candidates, QueryStats* stats) {
+                     std::vector<UserId>* candidates, QueryStats* stats,
+                     SocialScratch* scratch) {
   const size_t count = candidates->size();
   if (count == 0) return;
   // fail_threshold = |S'| − τ + 1 (Corollary 2).
   const int64_t fail_threshold =
       static_cast<int64_t>(count) - query.tau + 1;
   if (fail_threshold <= 0) return;
-  std::vector<SparseInterests> sparse(count);
-  for (size_t i = 0; i < count; ++i) {
-    sparse[i] = SparseInterests::From(social.Interests((*candidates)[i]));
-  }
-  std::vector<bool> pruned(count, false);
   std::vector<int64_t> failures(count, 0);
-  for (size_t i = 0; i < count; ++i) {
-    for (size_t j = i + 1; j < count; ++j) {
-      if (SparseSimilarity(query.metric, sparse[i], sparse[j]) <
-          query.gamma) {
-        ++failures[i];
-        ++failures[j];
-      }
+  if (scratch != nullptr && scratch->built()) {
+    std::vector<int> sidx(count);
+    for (size_t i = 0; i < count; ++i) {
+      sidx[i] = scratch->IndexOf((*candidates)[i]);
+      GPSSN_CHECK(sidx[i] >= 0);
     }
+    Corollary2Counts(
+        query, *candidates, fail_threshold,
+        [&](size_t i, size_t j) {
+          return !scratch->PairPasses(sidx[i], sidx[j]);
+        },
+        &failures);
+  } else {
+    std::vector<SparseInterests> sparse(count);
+    for (size_t i = 0; i < count; ++i) {
+      sparse[i] = SparseInterests::From(social.Interests((*candidates)[i]));
+    }
+    Corollary2Counts(
+        query, *candidates, fail_threshold,
+        [&](size_t i, size_t j) {
+          return SparseSimilarity(query.metric, sparse[i], sparse[j]) <
+                 query.gamma;
+        },
+        &failures);
   }
   std::vector<UserId> kept;
   kept.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     const UserId u = (*candidates)[i];
     if (u != query.issuer && failures[i] >= fail_threshold) {
-      pruned[i] = true;
       if (stats != nullptr) ++stats->users_pruned_corollary2;
       continue;
     }
@@ -209,16 +265,127 @@ class GroupEnumerator {
   std::vector<UserId> rollback_;
 };
 
+/// Bitset variant of the ESU enumeration over a SocialScratch: everything
+/// is candidate-local (indices, not user ids), extension candidates come
+/// from word-parallel adjacency ∧ active ∧ ¬seen sweeps, and the pairwise
+/// predicate hits the memo. Scratch candidates are id-sorted, so ascending
+/// bit iteration appends extension vertices in exactly the order the
+/// scalar enumerator reads them off the CSR friend lists — the emitted
+/// group sequence is identical.
+class ScratchGroupEnumerator {
+ public:
+  ScratchGroupEnumerator(const GpssnQuery& query, SocialScratch* scratch,
+                         const std::vector<UserId>& candidates,
+                         int64_t max_groups,
+                         std::vector<std::vector<UserId>>* out)
+      : query_(query),
+        scratch_(scratch),
+        max_groups_(max_groups),
+        out_(out),
+        active_(scratch->size()),
+        seen_(scratch->size()) {
+    for (UserId u : candidates) {
+      const int i = scratch->IndexOf(u);
+      GPSSN_CHECK(i >= 0);
+      active_.Set(static_cast<size_t>(i));
+    }
+    issuer_ = scratch->IndexOf(query.issuer);
+    GPSSN_CHECK(issuer_ >= 0);
+    active_.Set(static_cast<size_t>(issuer_));
+  }
+
+  bool Run() {
+    sub_.push_back(issuer_);
+    seen_.Set(static_cast<size_t>(issuer_));
+    std::vector<int> ext;
+    AppendExclusiveNeighbors(issuer_, &ext);
+    return Extend(&ext);
+  }
+
+ private:
+  // Appends (adjacency[w] ∧ active ∧ ¬seen) to *ext in ascending index
+  // order, marking each appended vertex seen and recording it for
+  // rollback.
+  void AppendExclusiveNeighbors(int w, std::vector<int>* ext) {
+    const uint64_t* adj = scratch_->AdjacencyRow(w);
+    for (size_t word = 0; word < scratch_->adj_words(); ++word) {
+      uint64_t bits = adj[word] & active_.Word(word) & ~seen_.Word(word);
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        const int v = static_cast<int>(word * 64) + b;
+        seen_.Set(static_cast<size_t>(v));
+        rollback_.push_back(v);
+        ext->push_back(v);
+      }
+    }
+  }
+
+  bool Extend(std::vector<int>* ext) {
+    if (static_cast<int>(sub_.size()) == query_.tau) {
+      std::vector<UserId> group;
+      group.reserve(sub_.size());
+      for (int i : sub_) group.push_back(scratch_->UserAt(i));
+      std::sort(group.begin(), group.end());
+      out_->push_back(std::move(group));
+      return static_cast<int64_t>(out_->size()) < max_groups_;
+    }
+    std::vector<int> local = *ext;
+    while (!local.empty()) {
+      const int w = local.back();
+      local.pop_back();
+      bool compatible = true;
+      for (int member : sub_) {
+        if (!scratch_->PairPasses(w, member)) {
+          compatible = false;
+          break;
+        }
+      }
+      if (!compatible) continue;
+
+      const size_t rollback_mark = rollback_.size();
+      std::vector<int> next = local;
+      AppendExclusiveNeighbors(w, &next);
+      sub_.push_back(w);
+      const bool keep_going = Extend(&next);
+      sub_.pop_back();
+      while (rollback_.size() > rollback_mark) {
+        seen_.Clear(static_cast<size_t>(rollback_.back()));
+        rollback_.pop_back();
+      }
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const GpssnQuery& query_;
+  SocialScratch* scratch_;
+  int64_t max_groups_;
+  std::vector<std::vector<UserId>>* out_;
+  DynamicBitset active_;
+  DynamicBitset seen_;
+  int issuer_ = -1;
+  std::vector<int> sub_;
+  std::vector<int> rollback_;
+};
+
 }  // namespace
 
 bool EnumerateGroups(const SocialNetwork& social, const GpssnQuery& query,
                      const std::vector<UserId>& candidates, int64_t max_groups,
-                     std::vector<std::vector<UserId>>* out) {
+                     std::vector<std::vector<UserId>>* out,
+                     SocialScratch* scratch) {
   GPSSN_CHECK(out != nullptr);
   out->clear();
   if (query.tau == 1) {
     out->push_back({query.issuer});
     return true;
+  }
+  if (scratch != nullptr && scratch->built() &&
+      scratch->IndexOf(query.issuer) >= 0) {
+    ScratchGroupEnumerator enumerator(query, scratch, candidates, max_groups,
+                                      out);
+    return enumerator.Run();
   }
   GroupEnumerator enumerator(social, query, candidates, max_groups, out);
   return enumerator.Run();

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/options.h"
+#include "core/social_scratch.h"
 #include "core/stats.h"
 #include "socialnet/social_graph.h"
 
@@ -21,18 +22,30 @@ namespace gpssn {
 
 /// Corollary 2: a user u_k failing the pairwise interest test against at
 /// least (|S'| − τ + 1) candidates cannot appear in any answer group and is
-/// removed. The issuer is never removed. Quadratic in |candidates|; callers
-/// should apply the cheaper per-user rules first.
+/// removed. The issuer is never removed. Worst-case quadratic in
+/// |candidates|, but per-user failure counters terminate each user early
+/// once its decision is certain (removal reached, or too few pairs left to
+/// reach it), and pairs between two decided users are skipped outright —
+/// the removed set is provably the one full evaluation would produce.
+/// When `scratch` is non-null (built over a superset of `candidates`),
+/// pair tests go through its memoized SoA kernels and stay cached for the
+/// group enumeration; null keeps the scalar sparse-merge kernels.
 void ApplyCorollary2(const SocialNetwork& social, const GpssnQuery& query,
-                     std::vector<UserId>* candidates, QueryStats* stats);
+                     std::vector<UserId>* candidates, QueryStats* stats,
+                     SocialScratch* scratch = nullptr);
 
 /// Enumerates all connected groups S (|S| = τ, u_q ∈ S ⊆ candidates ∪
 /// {u_q}) whose members pairwise satisfy Interest_Score >= γ. Each group is
 /// emitted exactly once (sorted ids). Returns false when `max_groups` was
-/// hit (output truncated).
+/// hit (output truncated). With a non-null `scratch` (candidates must all
+/// be scratch members) the ESU extension tests run over candidate-local
+/// adjacency bitsets and the memoized pair scores; the emitted group
+/// sequence is identical to the scalar path (id-ascending bit order equals
+/// the CSR Friends() order) up to pairwise-score rounding.
 bool EnumerateGroups(const SocialNetwork& social, const GpssnQuery& query,
                      const std::vector<UserId>& candidates, int64_t max_groups,
-                     std::vector<std::vector<UserId>>* out);
+                     std::vector<std::vector<UserId>>* out,
+                     SocialScratch* scratch = nullptr);
 
 /// Subset-sampling alternative: `samples` random connected growths from
 /// u_q; deduplicated. Never truncates (sampling is inherently partial).

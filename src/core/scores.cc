@@ -1,6 +1,7 @@
 #include "core/scores.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/macros.h"
 
@@ -89,6 +90,102 @@ double UbMatchScore(std::span<const double> interests,
   for (size_t f = 0; f < interests.size(); ++f) {
     if (interests[f] > 0.0 && signature.MayContain(static_cast<int>(f))) {
       s += interests[f];
+    }
+  }
+  return s;
+}
+
+double SoaDot(const double* a, const double* b, size_t padded_dim) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  for (size_t f = 0; f < padded_dim; f += kSoaLaneWidth) {
+    l0 += a[f] * b[f];
+    l1 += a[f + 1] * b[f + 1];
+    l2 += a[f + 2] * b[f + 2];
+    l3 += a[f + 3] * b[f + 3];
+  }
+  return (l0 + l1) + (l2 + l3);
+}
+
+double SoaJaccard(const double* a, const double* b, size_t padded_dim) {
+  double n0 = 0.0, n1 = 0.0, n2 = 0.0, n3 = 0.0;
+  double d0 = 0.0, d1 = 0.0, d2 = 0.0, d3 = 0.0;
+  for (size_t f = 0; f < padded_dim; f += kSoaLaneWidth) {
+    n0 += std::min(a[f], b[f]);
+    n1 += std::min(a[f + 1], b[f + 1]);
+    n2 += std::min(a[f + 2], b[f + 2]);
+    n3 += std::min(a[f + 3], b[f + 3]);
+    d0 += std::max(a[f], b[f]);
+    d1 += std::max(a[f + 1], b[f + 1]);
+    d2 += std::max(a[f + 2], b[f + 2]);
+    d3 += std::max(a[f + 3], b[f + 3]);
+  }
+  const double num = (n0 + n1) + (n2 + n3);
+  const double den = (d0 + d1) + (d2 + d3);
+  return den > 0.0 ? num / den : 1.0;
+}
+
+double SoaHamming(const double* a, const double* b, size_t dim,
+                  size_t padded_dim) {
+  if (dim == 0) return 1.0;
+  // Integer counting: exact, so lane order is irrelevant here. Zero padding
+  // never mismatches (both sides outside the support).
+  int m0 = 0, m1 = 0, m2 = 0, m3 = 0;
+  for (size_t f = 0; f < padded_dim; f += kSoaLaneWidth) {
+    m0 += (a[f] > 0.0) != (b[f] > 0.0);
+    m1 += (a[f + 1] > 0.0) != (b[f + 1] > 0.0);
+    m2 += (a[f + 2] > 0.0) != (b[f + 2] > 0.0);
+    m3 += (a[f + 3] > 0.0) != (b[f + 3] > 0.0);
+  }
+  const int mismatches = (m0 + m1) + (m2 + m3);
+  return 1.0 - static_cast<double>(mismatches) / static_cast<double>(dim);
+}
+
+double SoaSimilarity(InterestMetric metric, const double* a, const double* b,
+                     size_t dim, size_t padded_dim) {
+  switch (metric) {
+    case InterestMetric::kDotProduct:
+      return SoaDot(a, b, padded_dim);
+    case InterestMetric::kJaccard:
+      return SoaJaccard(a, b, padded_dim);
+    case InterestMetric::kHamming:
+      return SoaHamming(a, b, dim, padded_dim);
+  }
+  return 0.0;
+}
+
+void SoaSimilarityOneToMany(InterestMetric metric, const double* q,
+                            const double* rows, size_t dim, size_t padded_dim,
+                            size_t n, double* out) {
+  switch (metric) {
+    case InterestMetric::kDotProduct:
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = SoaDot(q, rows + i * padded_dim, padded_dim);
+      }
+      return;
+    case InterestMetric::kJaccard:
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = SoaJaccard(q, rows + i * padded_dim, padded_dim);
+      }
+      return;
+    case InterestMetric::kHamming:
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = SoaHamming(q, rows + i * padded_dim, dim, padded_dim);
+      }
+      return;
+  }
+}
+
+double MaskedMatchScore(const double* interests,
+                        std::span<const uint64_t> mask_words) {
+  // Ascending set-bit iteration reproduces MatchScore's sorted-unique
+  // keyword walk addition-for-addition (bit-identical sums).
+  double s = 0.0;
+  for (size_t w = 0; w < mask_words.size(); ++w) {
+    uint64_t bits = mask_words[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      s += interests[w * 64 + static_cast<size_t>(b)];
+      bits &= bits - 1;
     }
   }
   return s;

@@ -58,6 +58,50 @@ double UbMatchScore(std::span<const double> interests,
 std::vector<KeywordId> UnionKeywords(const SpatialSocialNetwork& ssn,
                                      const std::vector<PoiId>& pois);
 
+// ----- Structure-of-arrays kernels (SocialScratch fast path) -----
+//
+// The Soa* kernels operate on flat interest rows padded with zeros to
+// `padded_dim` (a multiple of kSoaLaneWidth doubles, 64-byte aligned — see
+// core/social_scratch.h). Each reduction runs in kSoaLaneWidth independent
+// accumulator lanes combined as (l0 + l1) + (l2 + l3), so the compiler can
+// keep them in one vector register; the summation order therefore differs
+// from the sequential scalar kernels above by design. The differential
+// tests pin them 0-ULP against ScalarReference* implementations that spell
+// out the same lane split, and the query-level tests cover the (measure-
+// zero) threshold-tie divergence against the sequential kernels.
+
+/// Accumulator-lane count of the unrolled reductions (doubles per 64-byte
+/// SIMD-width stripe; also the row padding granularity).
+inline constexpr size_t kSoaLaneWidth = 4;
+
+/// Eq. 1 over padded rows: 4-lane unrolled dot product.
+double SoaDot(const double* a, const double* b, size_t padded_dim);
+
+/// Weighted Jaccard over padded rows (zero padding contributes min=max=0).
+double SoaJaccard(const double* a, const double* b, size_t padded_dim);
+
+/// Hamming similarity over padded rows; `dim` is the true dimensionality
+/// (the denominator — padding lanes agree on zero so they add nothing).
+double SoaHamming(const double* a, const double* b, size_t dim,
+                  size_t padded_dim);
+
+/// Dispatches on the metric, like UserSimilarity.
+double SoaSimilarity(InterestMetric metric, const double* a, const double* b,
+                     size_t dim, size_t padded_dim);
+
+/// One-to-many row variant: out[i] = SoaSimilarity(q, rows + i*padded_dim)
+/// for i in [0, n). Row-major `rows` as produced by SocialScratch.
+void SoaSimilarityOneToMany(InterestMetric metric, const double* q,
+                            const double* rows, size_t dim, size_t padded_dim,
+                            size_t n, double* out);
+
+/// Eq. 2 as a masked row sum: Σ interests[i] over the set bits of
+/// `mask_words` (covering `padded_dim` bits, no bits ≥ the true dim).
+/// Iterates set bits ascending, so against a mask built from sorted unique
+/// union keywords this is bit-identical to MatchScore.
+double MaskedMatchScore(const double* interests,
+                        std::span<const uint64_t> mask_words);
+
 }  // namespace gpssn
 
 #endif  // GPSSN_CORE_SCORES_H_

@@ -1,0 +1,112 @@
+#include "core/social_scratch.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/macros.h"
+#include "core/scores.h"
+
+namespace gpssn {
+
+namespace {
+// Rows are padded to a multiple of 8 doubles so every row starts on a
+// 64-byte boundary once the base pointer is aligned.
+constexpr size_t kAlignDoubles = 8;
+static_assert(kAlignDoubles % kSoaLaneWidth == 0);
+}  // namespace
+
+void SocialScratch::Build(const SocialNetwork& social, const GpssnQuery& query,
+                          std::span<const UserId> candidates) {
+  social_ = &social;
+  built_version_ = social.interests_version();
+  metric_ = query.metric;
+  gamma_ = query.gamma;
+
+  users_.assign(candidates.begin(), candidates.end());
+  std::sort(users_.begin(), users_.end());
+  const size_t n = users_.size();
+
+  const size_t num_users = static_cast<size_t>(social.num_users());
+  if (index_stamp_.size() < num_users) {
+    index_stamp_.resize(num_users, 0);
+    index_of_.resize(num_users, 0);
+  }
+  ++generation_;
+  if (generation_ == 0) {  // Stamp wrap-around: hard reset.
+    std::fill(index_stamp_.begin(), index_stamp_.end(), 0);
+    generation_ = 1;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    index_stamp_[users_[i]] = generation_;
+    index_of_[users_[i]] = static_cast<int32_t>(i);
+  }
+
+  // SoA interest matrix: one zero-padded, 64-byte-aligned row per
+  // candidate. Interests are probabilities (non-negative), so zero padding
+  // is value-preserving for every kernel.
+  dim_ = static_cast<size_t>(social.num_topics());
+  padded_dim_ = (dim_ + kAlignDoubles - 1) / kAlignDoubles * kAlignDoubles;
+  rows_storage_.assign(n * padded_dim_ + kAlignDoubles, 0.0);
+  const auto base = reinterpret_cast<uintptr_t>(rows_storage_.data());
+  rows_ = rows_storage_.data() + ((64 - base % 64) % 64) / sizeof(double);
+  for (size_t i = 0; i < n; ++i) {
+    const auto w = social.Interests(users_[i]);
+    std::copy(w.begin(), w.end(), rows_ + i * padded_dim_);
+  }
+
+  // Candidate-local adjacency bitsets from the CSR friend lists. Candidate
+  // indices are id-ascending, so ascending bit iteration visits friends in
+  // the same order as Friends().
+  adj_words_ = (n + 63) / 64;
+  adj_.assign(n * adj_words_, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t* row = adj_.data() + i * adj_words_;
+    for (UserId v : social.Friends(users_[i])) {
+      const int j = IndexOf(v);
+      if (j >= 0) row[static_cast<size_t>(j) >> 6] |= 1ULL << (j & 63);
+    }
+  }
+
+  memo_.assign(n >= 2 ? n * (n - 1) / 2 : 0, 0);
+  pairs_scored_ = 0;
+  built_ = true;
+}
+
+size_t SocialScratch::TriIndex(int i, int j) const {
+  // Row-major upper triangle (i < j): row i starts after the i rows above
+  // it, which hold (n-1) + (n-2) + ... + (n-i) entries.
+  const size_t n = users_.size();
+  const size_t si = static_cast<size_t>(i);
+  return si * (2 * n - si - 1) / 2 + static_cast<size_t>(j - i - 1);
+}
+
+bool SocialScratch::PairPasses(int i, int j) {
+  if (i == j) return true;
+  if (i > j) std::swap(i, j);
+  uint8_t& state = memo_[TriIndex(i, j)];
+  if (state == 0) {
+    ++pairs_scored_;
+    const double s =
+        SoaSimilarity(metric_, Row(i), Row(j), dim_, padded_dim_);
+    state = s >= gamma_ ? 1 : 2;
+  }
+  return state == 1;
+}
+
+void SocialScratch::BuildKeywordMask(const std::vector<KeywordId>& keywords,
+                                     DynamicBitset* mask) const {
+  mask->Reset(padded_dim_);
+  for (KeywordId kw : keywords) {
+    if (kw >= 0 && static_cast<size_t>(kw) < dim_) {
+      mask->Set(static_cast<size_t>(kw));
+    }
+  }
+}
+
+double SocialScratch::MaskedMatchScoreRow(const double* row,
+                                          const DynamicBitset& mask) {
+  return MaskedMatchScore(
+      row, std::span<const uint64_t>(mask.words(), mask.num_words()));
+}
+
+}  // namespace gpssn

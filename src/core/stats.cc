@@ -1,5 +1,6 @@
 #include "core/stats.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace gpssn {
@@ -35,6 +36,8 @@ void QueryStats::MergeFrom(const QueryStats& other) {
   exact_dist_seconds += other.exact_dist_seconds;
   dist_cache_row_hits += other.dist_cache_row_hits;
   dist_cache_row_misses += other.dist_cache_row_misses;
+  intra_lanes_used = std::max(intra_lanes_used, other.intra_lanes_used);
+  interest_pairs_scored += other.interest_pairs_scored;
 }
 
 std::string QueryStats::ToString() const {
@@ -48,7 +51,8 @@ std::string QueryStats::ToString() const {
       "road: nodes visited=%llu pruned(match=%llu, distance=%llu); "
       "pois seen=%llu pruned(match=%llu, distance=%llu) candidates=%llu "
       "index-pruned-pois=%llu\n"
-      "refine: groups=%llu pairs=%llu exact-dist=%llu truncated=%d\n"
+      "refine: groups=%llu pairs=%llu exact-dist=%llu truncated=%d "
+      "lanes=%u interest-pairs=%llu\n"
       "phases: descent=%.6fs ball=%.6fs refine=%.6fs exact-dist=%.6fs; "
       "dist-cache rows hit=%llu miss=%llu",
       cpu_seconds, static_cast<unsigned long long>(io.page_misses),
@@ -73,7 +77,9 @@ std::string QueryStats::ToString() const {
       static_cast<unsigned long long>(groups_enumerated),
       static_cast<unsigned long long>(pairs_examined),
       static_cast<unsigned long long>(exact_distance_evals),
-      truncated ? 1 : 0, descent_seconds, ball_seconds, refine_seconds,
+      truncated ? 1 : 0, intra_lanes_used,
+      static_cast<unsigned long long>(interest_pairs_scored),
+      descent_seconds, ball_seconds, refine_seconds,
       exact_dist_seconds, static_cast<unsigned long long>(dist_cache_row_hits),
       static_cast<unsigned long long>(dist_cache_row_misses));
   return buf;

@@ -61,6 +61,15 @@ struct QueryStats {
   uint64_t dist_cache_row_hits = 0;
   uint64_t dist_cache_row_misses = 0;
 
+  // --- Intra-query parallel refinement (QueryOptions::intra_query_pool):
+  // refinement lanes that claimed at least one candidate center (0 on the
+  // serial path; MergeFrom keeps the max, a peak not a sum).
+  uint32_t intra_lanes_used = 0;
+  // Fresh pairwise Interest_Score evaluations through the SocialScratch
+  // memo (QueryOptions::vectorized_social_kernels; 0 on the scalar path).
+  // Bounded by n(n-1)/2 per query — each pair is scored at most once.
+  uint64_t interest_pairs_scored = 0;
+
   /// Page misses (the paper's "number of page accesses through a buffer").
   uint64_t PageAccesses() const { return io.page_misses; }
 

@@ -7,6 +7,7 @@
 #ifndef GPSSN_SOCIALNET_SOCIAL_GRAPH_H_
 #define GPSSN_SOCIALNET_SOCIAL_GRAPH_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -54,6 +55,12 @@ class SocialNetwork {
   /// SocialIndex::UpdateUserInterests).
   Status SetInterests(UserId u, std::span<const double> interests);
 
+  /// Monotone counter bumped by every successful SetInterests (and by
+  /// WithInterests). Consumers holding derived interest state — e.g. the
+  /// per-query SocialScratch pairwise-score memo — record the version they
+  /// were built from and treat a mismatch as staleness.
+  uint64_t interests_version() const { return interests_version_; }
+
  private:
   friend class SocialNetworkBuilder;
   friend SocialNetwork WithInterests(const SocialNetwork& g,
@@ -64,6 +71,7 @@ class SocialNetwork {
   std::vector<int> offsets_;
   std::vector<UserId> adjacency_;       // Sorted within each user's range.
   std::vector<double> interests_;       // Row-major m × d.
+  uint64_t interests_version_ = 0;      // Bumped on interest mutation.
 };
 
 /// Accumulates users/friendships, then finalizes the CSR representation.

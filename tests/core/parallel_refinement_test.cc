@@ -1,0 +1,229 @@
+// Intra-query parallel refinement determinism: at EVERY worker count the
+// reported answer must be byte-identical to the serial loop's — same users,
+// same center, same POIs, and the exact same objective double (the lanes
+// run the same engine arithmetic; only the schedule differs). Swept over 20
+// random networks × worker counts {1, 2, 4, 8} × distance configurations
+// (built-in Dijkstra, CH backend, shared distance cache, vectorized social
+// kernels). Also exercises mid-refinement cancellation and deadlines with
+// lanes running on pool threads (the TSAN preset runs this test).
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/database.h"
+#include "roadnet/distance_backend.h"
+#include "roadnet/distance_cache.h"
+#include "ssn/dataset.h"
+
+namespace gpssn {
+namespace {
+
+void ExpectByteIdentical(const GpssnAnswer& want, const GpssnAnswer& got,
+                         const char* label, uint64_t seed, int workers) {
+  ASSERT_EQ(want.found, got.found)
+      << label << " seed=" << seed << " workers=" << workers;
+  if (!want.found) return;
+  EXPECT_EQ(want.users, got.users)
+      << label << " seed=" << seed << " workers=" << workers;
+  EXPECT_EQ(want.center, got.center)
+      << label << " seed=" << seed << " workers=" << workers;
+  EXPECT_EQ(want.pois, got.pois)
+      << label << " seed=" << seed << " workers=" << workers;
+  // Bit-exact, not NEAR: parallel lanes must reproduce the serial answer.
+  EXPECT_EQ(want.max_dist, got.max_dist)
+      << label << " seed=" << seed << " workers=" << workers;
+}
+
+GpssnDatabase MakeDb(uint64_t seed, Rng* rng) {
+  SyntheticSsnOptions data;
+  data.num_road_vertices = 100 + static_cast<int>(rng->NextBounded(100));
+  data.num_pois = 35 + static_cast<int>(rng->NextBounded(35));
+  data.num_users = 50 + static_cast<int>(rng->NextBounded(50));
+  data.num_topics = 8 + static_cast<int>(rng->NextBounded(8));
+  data.space_size = 12.0 + rng->UniformDouble(0, 6);
+  data.seed = rng->Next();
+
+  GpssnBuildOptions build;
+  build.num_road_pivots = 1 + static_cast<int>(rng->NextBounded(3));
+  build.num_social_pivots = 1 + static_cast<int>(rng->NextBounded(3));
+  build.poi_index.r_min = 0.3;
+  build.poi_index.r_max = 4.5;
+  build.seed = rng->Next();
+  return GpssnDatabase(MakeSynthetic(data), build);
+}
+
+GpssnQuery RandomQuery(const GpssnDatabase& db, Rng* rng) {
+  GpssnQuery q;
+  q.issuer = static_cast<UserId>(rng->NextBounded(db.ssn().num_users()));
+  q.tau = 2 + static_cast<int>(rng->NextBounded(3));
+  q.gamma = rng->UniformDouble(0.05, 0.5);
+  q.theta = rng->UniformDouble(0.05, 0.6);
+  q.radius = rng->UniformDouble(0.4, 4.0);
+  return q;
+}
+
+class ParallelRefinementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelRefinementTest, ByteIdenticalAtEveryWorkerCount) {
+  Rng rng(GetParam() * 7919 + 3);
+  GpssnDatabase db = MakeDb(GetParam(), &rng);
+  const auto ch_backend = MakeChBackend(&db.ssn().road(), &db.ssn().pois());
+  DistanceCache cache;
+
+  // Configurations the worker sweep runs under. Each sweep compares
+  // against the SERIAL run of the same configuration (CH objectives may
+  // differ from Dijkstra's in the last ULP, so cross-config comparison is
+  // a different test's job — backend_differential_test).
+  struct Config {
+    const char* label;
+    const DistanceBackend* backend;
+    DistanceCache* cache;
+    bool vectorized;
+  };
+  const Config configs[] = {
+      {"dijkstra", nullptr, nullptr, false},
+      {"dijkstra+soa", nullptr, nullptr, true},
+      {"ch", ch_backend.get(), nullptr, false},
+      {"dijkstra+cache+soa", nullptr, &cache, true},
+  };
+
+  for (int trial = 0; trial < 3; ++trial) {
+    const GpssnQuery q = RandomQuery(db, &rng);
+    for (const Config& cfg : configs) {
+      QueryOptions serial;
+      serial.distance_backend = cfg.backend;
+      serial.distance_cache = cfg.cache;
+      serial.vectorized_social_kernels = cfg.vectorized;
+      QueryStats serial_stats;
+      auto want = db.Query(q, serial, &serial_stats);
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+      for (int workers : {1, 2, 4, 8}) {
+        ThreadPool pool(std::max(1, workers - 1));
+        QueryOptions par = serial;
+        par.intra_query_pool = &pool;
+        par.intra_query_workers = workers;
+        QueryStats par_stats;
+        auto got = db.Query(q, par, &par_stats);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ExpectByteIdentical(*want, *got, cfg.label, GetParam(), workers);
+        // Deterministic counters (schedule-independent) must match too;
+        // pairs_examined / exact evals / io legitimately vary with the
+        // racing bound and are not compared.
+        EXPECT_EQ(serial_stats.groups_enumerated, par_stats.groups_enumerated);
+        EXPECT_EQ(serial_stats.users_candidates, par_stats.users_candidates);
+        EXPECT_EQ(serial_stats.pois_candidates, par_stats.pois_candidates);
+        EXPECT_EQ(serial_stats.users_pruned_corollary2,
+                  par_stats.users_pruned_corollary2);
+        EXPECT_EQ(serial_stats.truncated, par_stats.truncated);
+        // Zero lanes is legal (refinement may exit before the fan-out —
+        // no groups, no centers, or a single center runs serially); more
+        // lanes than requested workers never is.
+        EXPECT_LE(par_stats.intra_lanes_used,
+                  static_cast<uint32_t>(workers));
+      }
+    }
+  }
+}
+
+TEST_P(ParallelRefinementTest, TopKByteIdentical) {
+  Rng rng(GetParam() * 104729 + 11);
+  GpssnDatabase db = MakeDb(GetParam() ^ 0x5a5a, &rng);
+  const GpssnQuery q = RandomQuery(db, &rng);
+
+  QueryOptions serial;
+  auto want = db.QueryTopK(q, 3, serial);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  for (int workers : {2, 4, 8}) {
+    ThreadPool pool(workers - 1);
+    QueryOptions par;
+    par.intra_query_pool = &pool;
+    par.intra_query_workers = workers;
+    auto got = db.QueryTopK(q, 3, par);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(want->size(), got->size()) << "workers=" << workers;
+    for (size_t i = 0; i < want->size(); ++i) {
+      ExpectByteIdentical((*want)[i], (*got)[i], "topk", GetParam(), workers);
+    }
+  }
+}
+
+// 20 random networks per sweep.
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelRefinementTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(ParallelRefinementInterruptTest, CancelFromAnotherThreadMidQuery) {
+  Rng rng(42);
+  SyntheticSsnOptions data;
+  data.num_road_vertices = 260;
+  data.num_pois = 90;
+  data.num_users = 120;
+  data.num_topics = 10;
+  data.seed = 99;
+  GpssnBuildOptions build;
+  build.poi_index.r_min = 0.3;
+  build.poi_index.r_max = 5.0;
+  GpssnDatabase db(MakeSynthetic(data), build);
+  ThreadPool pool(3);
+
+  for (int round = 0; round < 6; ++round) {
+    GpssnQuery q = RandomQuery(db, &rng);
+    q.tau = 3;
+    q.radius = 4.5;  // Big balls: long refinement.
+    auto reference = db.Query(q);
+    ASSERT_TRUE(reference.ok());
+
+    std::atomic<bool> cancel{false};
+    QueryOptions par;
+    par.intra_query_pool = &pool;
+    par.cancel = &cancel;
+    std::thread canceller([&cancel, round] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+      cancel.store(true, std::memory_order_relaxed);
+    });
+    auto got = db.Query(q, par);
+    canceller.join();
+    // Either the cancel landed (Cancelled) or the query beat it — in which
+    // case the answer must still be the deterministic one. Never anything
+    // else, never a hang, never a race (TSAN runs this test).
+    if (got.ok()) {
+      ExpectByteIdentical(*reference, *got, "cancel-race", 42, 4);
+    } else {
+      EXPECT_TRUE(got.status().IsCancelled()) << got.status().ToString();
+    }
+  }
+}
+
+TEST(ParallelRefinementInterruptTest, DeadlineFiresWithLanesRunning) {
+  Rng rng(7);
+  SyntheticSsnOptions data;
+  data.num_road_vertices = 260;
+  data.num_pois = 90;
+  data.num_users = 120;
+  data.seed = 5;
+  GpssnBuildOptions build;
+  build.poi_index.r_min = 0.3;
+  build.poi_index.r_max = 5.0;
+  GpssnDatabase db(MakeSynthetic(data), build);
+  ThreadPool pool(3);
+
+  for (int round = 0; round < 6; ++round) {
+    GpssnQuery q = RandomQuery(db, &rng);
+    q.radius = 4.5;
+    QueryOptions par;
+    par.intra_query_pool = &pool;
+    par.deadline = QueryDeadline::After(round * 10e-6);
+    auto got = db.Query(q, par);
+    if (!got.ok()) {
+      EXPECT_TRUE(got.status().IsDeadlineExceeded())
+          << got.status().ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpssn

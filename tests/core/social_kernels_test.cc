@@ -1,0 +1,306 @@
+// Differential tests for the SoA social kernels and the per-query
+// SocialScratch:
+//   * SoaDot / SoaJaccard / SoaHamming equal a scalar reference spelling
+//     out the same 4-lane split to 0 ULP, over random vectors including
+//     padded-tail dimensionalities;
+//   * MaskedMatchScore equals the sequential MatchScore to 0 ULP (same
+//     additions in the same ascending-keyword order);
+//   * the scratch goes stale when interests change (SetInterests bumps
+//     interests_version);
+//   * scratch-backed ApplyCorollary2 / EnumerateGroups agree with the
+//     scalar path, and the count-based Corollary 2 early termination
+//     removes exactly the users full evaluation removes, on 20 random
+//     networks.
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/refinement.h"
+#include "core/scores.h"
+#include "core/social_scratch.h"
+
+namespace gpssn {
+namespace {
+
+// Scalar references replicating the kernels' lane split exactly (see
+// scores.h): kSoaLaneWidth independent accumulators combined as
+// (l0 + l1) + (l2 + l3).
+double RefDot(const std::vector<double>& a, const std::vector<double>& b) {
+  double l[kSoaLaneWidth] = {};
+  for (size_t f = 0; f < a.size(); ++f) l[f % kSoaLaneWidth] += a[f] * b[f];
+  return (l[0] + l[1]) + (l[2] + l[3]);
+}
+
+double RefJaccard(const std::vector<double>& a, const std::vector<double>& b) {
+  double n[kSoaLaneWidth] = {};
+  double d[kSoaLaneWidth] = {};
+  for (size_t f = 0; f < a.size(); ++f) {
+    n[f % kSoaLaneWidth] += std::min(a[f], b[f]);
+    d[f % kSoaLaneWidth] += std::max(a[f], b[f]);
+  }
+  const double num = (n[0] + n[1]) + (n[2] + n[3]);
+  const double den = (d[0] + d[1]) + (d[2] + d[3]);
+  return den > 0.0 ? num / den : 1.0;
+}
+
+double RefHamming(const std::vector<double>& a, const std::vector<double>& b,
+                  size_t dim) {
+  if (dim == 0) return 1.0;
+  int mismatches = 0;
+  for (size_t f = 0; f < a.size(); ++f) {
+    mismatches += (a[f] > 0.0) != (b[f] > 0.0);
+  }
+  return 1.0 - static_cast<double>(mismatches) / static_cast<double>(dim);
+}
+
+std::vector<double> RandomInterests(Rng* rng, size_t dim, double density) {
+  std::vector<double> w(dim, 0.0);
+  for (double& x : w) {
+    if (rng->Bernoulli(density)) x = rng->UniformDouble();
+  }
+  return w;
+}
+
+// Pads to a multiple of kSoaLaneWidth with zeros (the scratch pads to 8,
+// but the kernels only require lane-width granularity).
+std::vector<double> Pad(const std::vector<double>& v, size_t padded) {
+  std::vector<double> out(padded, 0.0);
+  std::copy(v.begin(), v.end(), out.begin());
+  return out;
+}
+
+TEST(SoaKernelsTest, ZeroUlpAgainstLaneSplitReference) {
+  Rng rng(12345);
+  // Dims straddling the padding boundaries: exact multiples and tails.
+  for (size_t dim : {1u, 3u, 4u, 5u, 7u, 8u, 12u, 15u, 16u, 31u, 32u, 100u,
+                     128u, 129u}) {
+    const size_t padded = (dim + kSoaLaneWidth - 1) / kSoaLaneWidth *
+                          kSoaLaneWidth;
+    for (int trial = 0; trial < 50; ++trial) {
+      const auto a = RandomInterests(&rng, dim, 0.6);
+      const auto b = RandomInterests(&rng, dim, 0.6);
+      const auto pa = Pad(a, padded);
+      const auto pb = Pad(b, padded);
+      // 0 ULP: exact double equality, not NEAR.
+      EXPECT_EQ(SoaDot(pa.data(), pb.data(), padded), RefDot(pa, pb))
+          << "dim=" << dim;
+      EXPECT_EQ(SoaJaccard(pa.data(), pb.data(), padded), RefJaccard(pa, pb))
+          << "dim=" << dim;
+      EXPECT_EQ(SoaHamming(pa.data(), pb.data(), dim, padded),
+                RefHamming(pa, pb, dim))
+          << "dim=" << dim;
+      // Hamming is integer-exact, so it must ALSO equal the sequential
+      // kernel exactly; dot/Jaccard agree to rounding.
+      EXPECT_EQ(SoaHamming(pa.data(), pb.data(), dim, padded),
+                HammingSimilarity(a, b));
+      EXPECT_NEAR(SoaDot(pa.data(), pb.data(), padded), InterestScore(a, b),
+                  1e-12);
+      EXPECT_NEAR(SoaJaccard(pa.data(), pb.data(), padded),
+                  WeightedJaccard(a, b), 1e-12);
+    }
+  }
+}
+
+TEST(SoaKernelsTest, OneToManyMatchesSingleRowCalls) {
+  Rng rng(777);
+  const size_t dim = 13, padded = 16, n = 9;
+  const auto q = Pad(RandomInterests(&rng, dim, 0.5), padded);
+  std::vector<double> rows(n * padded, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto r = RandomInterests(&rng, dim, 0.5);
+    std::copy(r.begin(), r.end(), rows.begin() + i * padded);
+  }
+  for (InterestMetric m : {InterestMetric::kDotProduct,
+                           InterestMetric::kJaccard,
+                           InterestMetric::kHamming}) {
+    std::vector<double> out(n, -1.0);
+    SoaSimilarityOneToMany(m, q.data(), rows.data(), dim, padded, n,
+                           out.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], SoaSimilarity(m, q.data(), rows.data() + i * padded,
+                                      dim, padded));
+    }
+  }
+}
+
+TEST(SoaKernelsTest, MaskedMatchScoreBitIdenticalToMatchScore) {
+  Rng rng(2024);
+  for (size_t dim : {5u, 8u, 17u, 64u, 65u, 130u}) {
+    const size_t padded = (dim + 7) / 8 * 8;
+    for (int trial = 0; trial < 40; ++trial) {
+      const auto interests = Pad(RandomInterests(&rng, dim, 0.7), padded);
+      // Random sorted unique keyword subset (some out of range, which
+      // MatchScore ignores and the mask never sets).
+      std::vector<KeywordId> keywords;
+      for (size_t f = 0; f < dim + 4; ++f) {
+        if (rng.Bernoulli(0.4)) keywords.push_back(static_cast<KeywordId>(f));
+      }
+      DynamicBitset mask(padded);
+      for (KeywordId kw : keywords) {
+        if (static_cast<size_t>(kw) < dim) {
+          mask.Set(static_cast<size_t>(kw));
+        }
+      }
+      EXPECT_EQ(MaskedMatchScore(
+                    interests.data(),
+                    std::span<const uint64_t>(mask.words(), mask.num_words())),
+                MatchScore(interests, keywords))
+          << "dim=" << dim;
+    }
+  }
+}
+
+SocialNetwork RandomSocial(int n, double p, int d, uint64_t seed) {
+  Rng rng(seed);
+  SocialNetworkBuilder b(d);
+  std::vector<double> w(d);
+  for (int i = 0; i < n; ++i) {
+    for (double& x : w) x = rng.Bernoulli(0.4) ? rng.UniformDouble() : 0.0;
+    EXPECT_TRUE(b.AddUser(w).ok());
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.UniformDouble() < p) {
+        EXPECT_TRUE(b.AddFriendship(i, j).ok());
+      }
+    }
+  }
+  return b.Build();
+}
+
+TEST(SocialScratchTest, StaleAfterSetInterests) {
+  SocialNetwork g = RandomSocial(10, 0.4, 6, 5);
+  GpssnQuery q;
+  q.issuer = 0;
+  q.gamma = 0.1;
+  std::vector<UserId> cands = {0, 1, 2, 3, 4, 5};
+  SocialScratch scratch;
+  scratch.Build(g, q, cands);
+  ASSERT_TRUE(scratch.built());
+  EXPECT_FALSE(scratch.StaleFor(g));
+  EXPECT_EQ(scratch.size(), 6);
+  EXPECT_EQ(scratch.IndexOf(3), 3);
+  EXPECT_EQ(scratch.IndexOf(9), -1);
+
+  std::vector<double> w(g.num_topics(), 0.5);
+  ASSERT_TRUE(g.SetInterests(2, w).ok());
+  EXPECT_TRUE(scratch.StaleFor(g)) << "interest edit must invalidate";
+
+  scratch.Build(g, q, cands);
+  EXPECT_FALSE(scratch.StaleFor(g));
+  // The rebuilt row reflects the new interests.
+  const double* row = scratch.Row(scratch.IndexOf(2));
+  for (size_t f = 0; f < scratch.dim(); ++f) EXPECT_EQ(row[f], 0.5);
+}
+
+TEST(SocialScratchTest, PairMemoScoresEachPairOnce) {
+  SocialNetwork g = RandomSocial(12, 0.5, 6, 17);
+  GpssnQuery q;
+  q.issuer = 0;
+  q.gamma = 0.2;
+  std::vector<UserId> cands;
+  for (UserId u = 0; u < g.num_users(); ++u) cands.push_back(u);
+  SocialScratch scratch;
+  scratch.Build(g, q, cands);
+  const int n = scratch.size();
+  // Score every pair twice; fresh evaluations must not exceed n(n-1)/2.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) scratch.PairPasses(i, j);
+    }
+  }
+  EXPECT_EQ(scratch.pairs_scored(),
+            static_cast<uint64_t>(n) * (n - 1) / 2);
+}
+
+class ScratchEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Corollary 2 with early termination must remove EXACTLY the users the
+// full quadratic evaluation removes, with and without the scratch.
+TEST_P(ScratchEquivalenceTest, Corollary2MatchesFullEvaluation) {
+  const uint64_t seed = GetParam();
+  const SocialNetwork g = RandomSocial(18, 0.3, 5, seed * 31 + 1);
+  Rng rng(seed);
+  for (int trial = 0; trial < 3; ++trial) {
+    GpssnQuery q;
+    q.issuer = static_cast<UserId>(rng.NextBounded(g.num_users()));
+    q.tau = 2 + static_cast<int>(rng.NextBounded(4));
+    q.gamma = rng.UniformDouble(0.05, 0.6);
+    std::vector<UserId> cands;
+    for (UserId u = 0; u < g.num_users(); ++u) {
+      if (rng.Bernoulli(0.8) || u == q.issuer) cands.push_back(u);
+    }
+
+    // Full evaluation: count every failing pair, no early exit.
+    const int64_t threshold =
+        static_cast<int64_t>(cands.size()) - q.tau + 1;
+    std::vector<UserId> want;
+    for (UserId u : cands) {
+      int64_t failures = 0;
+      for (UserId v : cands) {
+        if (v == u) continue;
+        if (UserSimilarity(q.metric, g.Interests(u), g.Interests(v)) <
+            q.gamma) {
+          ++failures;
+        }
+      }
+      if (u == q.issuer || failures < threshold) want.push_back(u);
+    }
+
+    std::vector<UserId> scalar = cands;
+    QueryStats scalar_stats;
+    ApplyCorollary2(g, q, &scalar, &scalar_stats);
+    EXPECT_EQ(scalar, want) << "scalar seed=" << seed << " trial=" << trial;
+
+    SocialScratch scratch;
+    scratch.Build(g, q, cands);
+    std::vector<UserId> vectorized = cands;
+    QueryStats soa_stats;
+    ApplyCorollary2(g, q, &vectorized, &soa_stats, &scratch);
+    EXPECT_EQ(vectorized, want) << "soa seed=" << seed << " trial=" << trial;
+    EXPECT_EQ(scalar_stats.users_pruned_corollary2,
+              soa_stats.users_pruned_corollary2);
+  }
+}
+
+// The scratch-backed ESU enumerator must emit the same groups in the same
+// order as the scalar one.
+TEST_P(ScratchEquivalenceTest, EnumerateGroupsSameSequence) {
+  const uint64_t seed = GetParam();
+  const SocialNetwork g = RandomSocial(16, 0.3, 5, seed * 17 + 3);
+  Rng rng(seed ^ 0xbeef);
+  for (int trial = 0; trial < 3; ++trial) {
+    GpssnQuery q;
+    q.issuer = static_cast<UserId>(rng.NextBounded(g.num_users()));
+    q.tau = 2 + static_cast<int>(rng.NextBounded(3));
+    q.gamma = rng.UniformDouble(0.05, 0.5);
+    std::vector<UserId> cands;
+    for (UserId u = 0; u < g.num_users(); ++u) {
+      if (rng.Bernoulli(0.85) || u == q.issuer) cands.push_back(u);
+    }
+
+    std::vector<std::vector<UserId>> scalar;
+    ASSERT_TRUE(EnumerateGroups(g, q, cands, 1000000, &scalar));
+
+    SocialScratch scratch;
+    scratch.Build(g, q, cands);
+    std::vector<std::vector<UserId>> vectorized;
+    ASSERT_TRUE(
+        EnumerateGroups(g, q, cands, 1000000, &vectorized, &scratch));
+
+    EXPECT_EQ(scalar, vectorized)
+        << "seed=" << seed << " trial=" << trial << " tau=" << q.tau;
+  }
+}
+
+// 20 random networks.
+INSTANTIATE_TEST_SUITE_P(Seeds, ScratchEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace gpssn
