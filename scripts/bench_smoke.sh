@@ -12,8 +12,12 @@
 #     (cores >= 4: 2.0x, 3: 1.7x, 2: 1.4x; on a single-core host the
 #     speedup check is not applicable — lanes only add overhead there —
 #     and the identity check is what must hold)
+#   - batch QPS with intra-query sharing ON >= sharing OFF on >= 2 cores
+#     (the work-stealing scheduler gate: a busy scheduler must cost a
+#     query only one publish/retire, never queued no-op helpers); on a
+#     single-core host >= 0.95x (publish/retire overhead only)
 #
-# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_PR5.json)
+# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_PR6.json)
 #
 # Exits non-zero if a check fails. Numbers are smoke-sized (seconds, not
 # minutes) — for paper-scale runs use GPSSN_BENCH_SCALE with the bench
@@ -22,7 +26,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR5.json}"
+OUT="${1:-BENCH_PR6.json}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B build -S . > /dev/null
@@ -85,6 +89,16 @@ refine_thresholds = {2: 1.4, 3: 1.7, 4: 2.0}
 refine_threshold = refine_thresholds.get(eff_cores)  # None on 1 core.
 refine_speedup_w4 = intra.get("refine_speedup", {}).get("w4")
 
+# Scheduler-sharing gate: with the morsel scheduler a saturated batch
+# behaves like sharing-off (workers prefer queued queries over morsels),
+# so sharing-on throughput must not regress. Multi-core boxes must be at
+# parity or better; a single-core box pays only the publish/retire
+# registry operation per query, bounded at 5%.
+qps_off = intra.get("batch_sharing_off_qps", 0.0)
+qps_on = intra.get("batch_sharing_on_qps", 0.0)
+sharing_floor = 1.0 if cores >= 2 else 0.95
+sharing_ratio = (qps_on / qps_off) if qps_off > 0 else None
+
 checks = {
     "warm_cache_speedup_ge_1_5": thr.get("warm_speedup", 0.0) >= 1.5,
     "ch_beats_dijkstra_at_largest":
@@ -97,6 +111,8 @@ checks = {
         True if refine_threshold is None
         else (refine_speedup_w4 is not None
               and refine_speedup_w4 >= refine_threshold),
+    "batch_sharing_on_ge_off":
+        sharing_ratio is not None and sharing_ratio >= sharing_floor,
 }
 
 report = {
@@ -110,6 +126,15 @@ report = {
     "intra_query": intra,
     "cpu_cores": cores,
     "refine_speedup_threshold_w4": refine_threshold,
+    "batch_sharing_qps_ratio": sharing_ratio,
+    "batch_sharing_qps_floor": sharing_floor,
+    "scheduler_counters": {
+        "refine_morsels": intra.get("sharing_on_refine_morsels"),
+        "refine_morsels_stolen":
+            intra.get("sharing_on_refine_morsels_stolen"),
+        "tasks_stolen": intra.get("sharing_on_tasks_stolen"),
+        "sources_published": intra.get("sharing_on_sources_published"),
+    },
     "checks": checks,
 }
 with open(out_path, "w") as f:

@@ -19,7 +19,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
-TSAN_TESTS='gpssn_core_parallel_refinement_test|gpssn_core_concurrency_test|gpssn_core_executor_test|gpssn_ssn_serialize_fuzz_test|gpssn_roadnet_distance_cache_test'
+TSAN_TESTS='gpssn_common_task_scheduler_test|gpssn_core_parallel_refinement_test|gpssn_core_concurrency_test|gpssn_core_executor_test|gpssn_core_scheduler_stress_test|gpssn_ssn_serialize_fuzz_test|gpssn_roadnet_distance_cache_test'
 MODE="${1:-all}"
 case "$MODE" in
   all|--tier1-only|--tsan-only|--ubsan-only|--lint-only|--audit-only) ;;
@@ -41,7 +41,9 @@ run_tsan() {
   cmake -B build-tsan -S . -DGPSSN_SANITIZE=thread
   # Only the TSAN-relevant test binaries are built, keeping the check fast.
   cmake --build build-tsan -j "$JOBS" --target \
-    gpssn_core_parallel_refinement_test gpssn_core_concurrency_test gpssn_core_executor_test \
+    gpssn_common_task_scheduler_test gpssn_core_parallel_refinement_test \
+    gpssn_core_concurrency_test gpssn_core_executor_test \
+    gpssn_core_scheduler_stress_test \
     gpssn_ssn_serialize_fuzz_test gpssn_roadnet_distance_cache_test
   (cd build-tsan && ctest --output-on-failure -R "$TSAN_TESTS")
 }

@@ -1,61 +1,49 @@
 // Copyright 2026 The gpssn Authors.
 //
-// A fixed-size worker pool with worker-indexed tasks. Built for the batch
-// query executor (core/executor.h): each task receives the index of the
-// worker running it, so callers can give every worker exclusive ownership
-// of per-thread state (query processors, stat accumulators) and skip all
-// synchronization on it — anything published by a task before WaitAll()
-// returns is visible to the waiting thread (release/acquire on the pool's
-// mutex).
+// Compatibility shim: the fixed-size FIFO ThreadPool of PR 2 is now a thin
+// wrapper over the unified work-stealing TaskScheduler
+// (common/task_scheduler.h), which is the single execution substrate for
+// both inter-query and intra-query parallelism. New code should use
+// TaskScheduler directly (deadline-aware priorities, Spawn, morsel
+// sources); this wrapper only preserves the Submit/WaitAll surface for
+// callers that still think in plain pools.
 
 #ifndef GPSSN_COMMON_THREAD_POOL_H_
 #define GPSSN_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
-#include <deque>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <utility>
 
 #include "common/macros.h"
+#include "common/task_scheduler.h"
 
 namespace gpssn {
 
-/// Fixed-size FIFO thread pool. Tasks are `void(int worker)` callables;
-/// `worker` ∈ [0, num_threads) identifies the executing worker and is
-/// stable for that thread's lifetime. Destruction drains the queue first
-/// (every submitted task runs exactly once).
+/// Fixed-size pool facade over TaskScheduler. Tasks are `void(int worker)`
+/// callables; `worker` ∈ [0, num_threads) identifies the executing worker.
+/// Destruction drains the queue first (every submitted task runs).
 class ThreadPool {
  public:
   using Task = std::function<void(int)>;
 
-  /// Spawns `num_threads` (≥ 1) workers immediately.
-  explicit ThreadPool(int num_threads);
-  ~ThreadPool();
+  /// Spawns `num_threads` (>= 1) workers immediately.
+  explicit ThreadPool(int num_threads) : scheduler_(num_threads) {}
 
   GPSSN_DISALLOW_COPY_AND_MOVE(ThreadPool);
 
-  int num_threads() const { return static_cast<int>(workers_.size()); }
+  int num_threads() const { return scheduler_.num_threads(); }
 
   /// Enqueues one task. Never blocks (unbounded queue).
-  void Submit(Task task);
+  void Submit(Task task) { scheduler_.Submit(std::move(task)); }
 
   /// Blocks until the queue is empty AND every popped task has finished.
-  /// Tasks submitted concurrently with WaitAll (e.g. from inside a task)
-  /// are waited on too.
-  void WaitAll();
+  void WaitAll() { scheduler_.WaitAll(); }
+
+  /// The underlying scheduler (e.g. to pass as QueryOptions::scheduler).
+  TaskScheduler& scheduler() { return scheduler_; }
 
  private:
-  void WorkerLoop(int worker);
-
-  std::mutex mu_;
-  std::condition_variable task_cv_;  // Signals workers: work or shutdown.
-  std::condition_variable idle_cv_;  // Signals WaitAll: pool drained.
-  std::deque<Task> queue_;
-  int in_flight_ = 0;  // Tasks popped but not yet finished.
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  TaskScheduler scheduler_;
 };
 
 }  // namespace gpssn

@@ -141,10 +141,13 @@ Result<PoiId> GpssnDatabase::AddPoi(const EdgePosition& position,
   // The processor caches a POI locator; rebuild it over the grown set.
   processor_ =
       std::make_unique<GpssnProcessor>(poi_index_.get(), social_index_.get());
-  // Cached (user, poi) distances stay valid (the road graph is unchanged),
-  // but drop them anyway: the cache contract ties entries to a fixed POI
-  // set, and a stale-id bug here would be silent.
-  if (distance_cache_ != nullptr) distance_cache_->Clear();
+  // Cached (user, poi) distances to OTHER POIs stay valid (the road graph
+  // is unchanged — the new POI only lands on an existing edge), so a
+  // wholesale Clear() would throw away every hit the batch workers have
+  // paid for. Invalidate surgically instead: bump the new id's generation
+  // bucket so any stale column under a recycled or colliding id can never
+  // serve, and let everything else keep hitting.
+  if (distance_cache_ != nullptr) distance_cache_->InvalidatePoi(id);
   return id;
 }
 

@@ -29,7 +29,8 @@ std::string BatchStats::ToString() const {
       "latency(ms) mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f "
       "cpu-total=%.4fs pairs=%llu page-ios=%llu "
       "phases(s) descent=%.4f ball=%.4f refine=%.4f exact-dist=%.4f "
-      "dist-cache rows hit=%llu miss=%llu",
+      "dist-cache rows hit=%llu miss=%llu "
+      "sched stolen=%llu morsel-visits=%llu sources=%llu",
       static_cast<unsigned long long>(queries),
       static_cast<unsigned long long>(succeeded),
       static_cast<unsigned long long>(answers_found),
@@ -44,7 +45,10 @@ std::string BatchStats::ToString() const {
       totals.descent_seconds, totals.ball_seconds, totals.refine_seconds,
       totals.exact_dist_seconds,
       static_cast<unsigned long long>(totals.dist_cache_row_hits),
-      static_cast<unsigned long long>(totals.dist_cache_row_misses));
+      static_cast<unsigned long long>(totals.dist_cache_row_misses),
+      static_cast<unsigned long long>(scheduler_tasks_stolen),
+      static_cast<unsigned long long>(scheduler_morsel_visits),
+      static_cast<unsigned long long>(scheduler_sources_published));
   return buf;
 }
 
@@ -59,17 +63,18 @@ GpssnBatchExecutor::GpssnBatchExecutor(const PoiIndex* poi_index,
                                        const BatchExecutorOptions& options)
     : options_(options),
       lanes_(std::max(options.num_workers, 1)),
-      pool_(options.num_workers) {
-  processors_.reserve(pool_.num_threads());
-  for (int w = 0; w < pool_.num_threads(); ++w) {
+      scheduler_(options.num_workers) {
+  processors_.reserve(scheduler_.num_threads());
+  for (int w = 0; w < scheduler_.num_threads(); ++w) {
     processors_.push_back(
         std::make_unique<GpssnProcessor>(poi_index, social_index));
   }
 }
 
 GpssnBatchExecutor::~GpssnBatchExecutor() {
-  // The pool destructor drains remaining tasks; they only touch the
-  // processors/lanes/slots, all of which outlive `pool_` (last member).
+  // The scheduler destructor drains remaining tasks; they only touch the
+  // processors/lanes/slots, all of which outlive `scheduler_` (last
+  // member).
 }
 
 size_t GpssnBatchExecutor::Submit(const GpssnQuery& query) {
@@ -78,7 +83,10 @@ size_t GpssnBatchExecutor::Submit(const GpssnQuery& query) {
 
 size_t GpssnBatchExecutor::Submit(const GpssnQuery& query,
                                   double deadline_seconds, Callback callback) {
-  if (results_.empty()) batch_timer_.Restart();
+  if (results_.empty()) {
+    batch_timer_.Restart();
+    sched_base_ = scheduler_.GetStats();
+  }
   const size_t index = results_.size();
   results_.push_back(BatchQueryResult{});
   BatchQueryResult* slot = &results_.back();
@@ -87,10 +95,16 @@ size_t GpssnBatchExecutor::Submit(const GpssnQuery& query,
   QueryDeadline deadline;  // Armed at submit time: queueing counts.
   if (deadline_seconds > 0.0) deadline = QueryDeadline::After(deadline_seconds);
   WallTimer submit_timer;
-  pool_.Submit([this, slot, deadline, submit_timer,
-                callback = std::move(callback)](int worker) {
-    RunOne(worker, slot, deadline, submit_timer, callback);
-  });
+  // Deadline-armed queries enter the injector earliest-deadline-first.
+  const TaskPriority priority = deadline.armed()
+                                    ? TaskPriority::DeadlineAt(deadline.at())
+                                    : TaskPriority::None();
+  scheduler_.Submit(
+      [this, slot, deadline, submit_timer,
+       callback = std::move(callback)](int worker) {
+        RunOne(worker, slot, deadline, submit_timer, callback);
+      },
+      priority);
   return index;
 }
 
@@ -100,7 +114,7 @@ void GpssnBatchExecutor::RunOne(int worker, BatchQueryResult* slot,
   QueryOptions options = options_.query;
   options.deadline = deadline;
   options.cancel = &cancel_;
-  if (options_.intra_query_sharing) options.intra_query_pool = &pool_;
+  if (options_.intra_query_sharing) options.scheduler = &scheduler_;
 
   Result<GpssnAnswer> result =
       processors_[worker]->Execute(slot->query, options, &slot->stats);
@@ -130,13 +144,19 @@ void GpssnBatchExecutor::RunOne(int worker, BatchQueryResult* slot,
 }
 
 std::vector<BatchQueryResult> GpssnBatchExecutor::Wait(BatchStats* stats) {
-  pool_.WaitAll();
+  scheduler_.WaitAll();
   const double wall = results_.empty() ? 0.0 : batch_timer_.ElapsedSeconds();
 
   if (stats != nullptr) {
     *stats = BatchStats();
     stats->queries = results_.size();
     stats->wall_seconds = wall;
+    const TaskScheduler::Stats sched = scheduler_.GetStats();
+    stats->scheduler_tasks_stolen = sched.tasks_stolen - sched_base_.tasks_stolen;
+    stats->scheduler_morsel_visits =
+        sched.morsel_visits - sched_base_.morsel_visits;
+    stats->scheduler_sources_published =
+        sched.sources_published - sched_base_.sources_published;
     std::vector<double> latencies;
     for (WorkerLane& lane : lanes_) {
       stats->totals.MergeFrom(lane.totals);

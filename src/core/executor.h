@@ -1,19 +1,21 @@
 // Copyright 2026 The gpssn Authors.
 //
-// GpssnBatchExecutor: the concurrent batch-query entry point. A fixed-size
-// worker pool (common/thread_pool.h) in which every worker owns one pooled
-// GpssnProcessor — reusing its Dijkstra/BFS arenas across queries — over
-// the shared immutable PoiIndex/SocialIndex. Supports submit-many/wait-all,
-// per-query completion callbacks, per-query deadlines with cooperative
-// cancellation (QueryOptions::deadline, polled inside the processor's
-// descent loops), batch-wide cancellation, and aggregation of per-query
-// QueryStats into a BatchStats (latency percentiles, throughput,
-// pruning-counter totals).
+// GpssnBatchExecutor: the concurrent batch-query entry point. A
+// work-stealing TaskScheduler (common/task_scheduler.h) in which every
+// worker owns one pooled GpssnProcessor — reusing its Dijkstra/BFS arenas
+// across queries — over the shared immutable PoiIndex/SocialIndex. Query
+// root tasks enter the scheduler's deadline-aware injector (earliest
+// deadline first), so under overload the queries that can still make their
+// deadline run first. Supports submit-many/wait-all, per-query completion
+// callbacks, per-query deadlines with cooperative cancellation
+// (QueryOptions::deadline, polled inside the processor's descent loops),
+// batch-wide cancellation, and aggregation of per-query QueryStats into a
+// BatchStats (latency percentiles, throughput, pruning-counter totals).
 //
 // Threading model: the indexes are immutable after construction, so workers
 // share them without synchronization. Each worker aggregates into its own
 // cache-line-padded lane — no locks or atomics on the hot path; lanes are
-// merged on Wait(), after the pool's drain barrier has published them.
+// merged on Wait(), after the scheduler's drain barrier has published them.
 
 #ifndef GPSSN_CORE_EXECUTOR_H_
 #define GPSSN_CORE_EXECUTOR_H_
@@ -27,7 +29,7 @@
 #include <string>
 #include <vector>
 
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "common/timer.h"
 #include "core/query.h"
 
@@ -43,12 +45,13 @@ struct BatchExecutorOptions {
   /// <= 0 means no deadline. Deadlines are armed at SUBMIT time, so queue
   /// waiting counts against them.
   double default_deadline_seconds = 0.0;
-  /// Lets each query fan its refinement phase out over the SAME worker
-  /// pool (QueryOptions::intra_query_pool = the executor's pool). Idle
-  /// workers become intra-query lanes; busy ones keep running their own
-  /// queries, so the pool is never oversubscribed and a query never waits
-  /// on helpers (the guard protocol in query.cc lets the issuing worker
-  /// finish alone). Answers stay byte-identical either way.
+  /// Lets each query publish its refinement centers as stealable morsels
+  /// on the SAME scheduler (QueryOptions::scheduler = the executor's
+  /// scheduler). Workers prefer queued query root tasks over morsels, so a
+  /// saturated batch runs exactly like sharing-off (one publish/retire per
+  /// query, zero queued helper tasks); only genuinely idle workers — the
+  /// batch tail, or a small batch on a big box — steal morsels and cut
+  /// per-query latency. Answers stay byte-identical either way.
   bool intra_query_sharing = false;
 };
 
@@ -91,6 +94,13 @@ struct BatchStats {
   /// of per-query CPU times, i.e. aggregate work, not wall time).
   QueryStats totals;
 
+  /// Scheduler activity during this batch (deltas of the scheduler's
+  /// cumulative counters between the first Submit and Wait): work-stealing
+  /// traffic and intra-query morsel sharing.
+  uint64_t scheduler_tasks_stolen = 0;
+  uint64_t scheduler_morsel_visits = 0;
+  uint64_t scheduler_sources_published = 0;
+
   std::string ToString() const;
 };
 
@@ -113,7 +123,7 @@ class GpssnBatchExecutor {
 
   GPSSN_DISALLOW_COPY_AND_MOVE(GpssnBatchExecutor);
 
-  int num_workers() const { return pool_.num_threads(); }
+  int num_workers() const { return scheduler_.num_threads(); }
 
   /// Enqueues one query under the default deadline; returns its index in
   /// the batch result vector.
@@ -164,8 +174,11 @@ class GpssnBatchExecutor {
   // stable slots handed to them — deque growth never invalidates those).
   std::deque<BatchQueryResult> results_;
   WallTimer batch_timer_;
+  // Scheduler-counter snapshot at the first Submit of the batch; Wait()
+  // diffs against it for BatchStats::scheduler_*.
+  TaskScheduler::Stats sched_base_;
 
-  ThreadPool pool_;  // Last member: joins before the state above dies.
+  TaskScheduler scheduler_;  // Last member: joins before the state above.
 };
 
 }  // namespace gpssn

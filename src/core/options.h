@@ -17,7 +17,7 @@ namespace gpssn {
 class PruningAuditor;   // core/audit.h
 class DistanceBackend;  // roadnet/distance_backend.h
 class DistanceCache;    // roadnet/distance_cache.h
-class ThreadPool;       // common/thread_pool.h
+class TaskScheduler;    // common/task_scheduler.h
 
 /// Cooperative per-query deadline. The processor polls Expired() at its
 /// descent-loop, heap-round, and refinement boundaries and abandons the
@@ -41,6 +41,9 @@ class QueryDeadline {
   bool Expired() const {
     return armed_ && std::chrono::steady_clock::now() >= at_;
   }
+  /// The absolute expiry instant (meaningful only when armed); feeds the
+  /// scheduler's earliest-deadline-first task priority.
+  std::chrono::steady_clock::time_point at() const { return at_; }
 
  private:
   bool armed_ = false;
@@ -118,9 +121,9 @@ struct QueryOptions {
   /// Optional shared cross-query (user, poi) → distance cache
   /// (roadnet/distance_cache.h). Thread-safe: one cache may be shared by
   /// all workers of a batch executor. Null disables caching. The pointee
-  /// must outlive the query; entries are only valid as long as the
-  /// underlying network is unchanged (callers must Clear() after dynamic
-  /// maintenance such as AddPoi).
+  /// must outlive the query; dynamic maintenance invalidates per POI
+  /// column (GpssnDatabase::AddPoi calls InvalidatePoi, and stale entries
+  /// are dropped lazily on lookup), so unrelated rows survive inserts.
   DistanceCache* distance_cache = nullptr;
   /// Optional pruning-soundness auditor (core/audit.h): the processor
   /// notifies it on every pruned candidate and it re-tests a sample against
@@ -131,16 +134,23 @@ struct QueryOptions {
   /// pointee must outlive the query.
   PruningAuditor* auditor = nullptr;
   /// Intra-query parallel refinement: when non-null, the refinement center
-  /// loop fans out over this pool (the submitting thread participates as
-  /// lane 0, so the pool may be the batch executor's own — helpers that
-  /// never get a worker are simply skipped and the query completes on the
-  /// caller alone; no oversubscription, no deadlock). Deterministic: the
-  /// reported answers are byte-identical to the serial path at any worker
-  /// count (see DESIGN.md §10). Null (default) keeps the seed-exact serial
-  /// loop. The pool must outlive the query.
-  ThreadPool* intra_query_pool = nullptr;
-  /// Caps the refinement lanes (claiming caller + pool helpers) when
-  /// intra_query_pool is set; 0 means pool size + 1.
+  /// loop publishes its centers as stealable morsels on this scheduler
+  /// (common/task_scheduler.h). The calling thread always runs lane 0;
+  /// scheduler workers with nothing better to do steal morsels as extra
+  /// lanes, and a fully busy scheduler costs the query exactly one
+  /// publish/retire registry operation — no queued helper tasks, no
+  /// oversubscription, no deadlock. Deterministic: the reported answers
+  /// are byte-identical to the serial path at any worker count (see
+  /// DESIGN.md §10). Null (default) keeps the seed-exact serial loop. On a
+  /// single-core host (hardware_concurrency <= 1) the query automatically
+  /// degenerates to the serial path — lanes could only timeshare the one
+  /// core — unless intra_query_workers explicitly requests them. The
+  /// scheduler must outlive the query.
+  TaskScheduler* scheduler = nullptr;
+  /// Caps the refinement lanes (claiming caller + morsel thieves) when
+  /// `scheduler` is set; 0 means scheduler size + 1 (and serial on a
+  /// single-core host); an explicit value also forces the morsel path on a
+  /// single-core host (used by the determinism/TSAN suites).
   int intra_query_workers = 0;
   /// Vectorized social kernels: build a per-query SocialScratch (SoA
   /// interest matrix + pairwise-score memo + adjacency bitsets) and route

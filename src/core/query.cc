@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <thread>
 #include <tuple>
 #include <unordered_map>
 
 #include "common/macros.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "common/timer.h"
 #include "core/audit.h"
 #include "core/pruning.h"
@@ -767,14 +767,24 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
   };
 
   int64_t pair_budget = options.max_refine_pairs;
-  // Lane count of the intra-query parallel refinement: the caller plus up
-  // to intra_query_workers − 1 pool helpers (never more than the pool has
-  // threads, never more lanes than centers). 1 lane = the serial loop.
+  // Lane ceiling of the intra-query parallel refinement: the claiming
+  // caller plus at most one stolen lane per scheduler worker (never more
+  // lanes than centers). How many lanes actually run depends on how many
+  // workers are idle when the morsel source is published — a saturated
+  // scheduler leaves lane 0 alone, which IS the serial loop plus one
+  // publish/retire registry operation. 1 lane = the seed-exact serial path.
   int max_lanes = 1;
-  if (options.intra_query_pool != nullptr && !centers.empty()) {
-    max_lanes = options.intra_query_pool->num_threads() + 1;
+  if (options.scheduler != nullptr && !centers.empty()) {
+    max_lanes = options.scheduler->num_threads() + 1;
     if (options.intra_query_workers > 0) {
       max_lanes = std::min(max_lanes, options.intra_query_workers);
+    } else if (std::thread::hardware_concurrency() <= 1) {
+      // A single-core box cannot win from intra-query lanes — thieves only
+      // duplicate row computations while timesharing the one core — so the
+      // query degenerates to the seed-exact serial loop automatically (no
+      // publish, no lane setup). An explicit intra_query_workers overrides
+      // this (tests force the morsel path to keep its races covered).
+      max_lanes = 1;
     }
     max_lanes =
         std::min(max_lanes, static_cast<int>(centers.size()));
@@ -1024,6 +1034,10 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
       uint32_t stride = 0;
       for (;;) {
         if (par_stop.load(std::memory_order_relaxed)) break;
+        // Stolen lanes hand their worker back as soon as a query root task
+        // is queued (admission beats help); lane 0 drains whatever remains.
+        // Any lane may process any center, so answers are unaffected.
+        if (lane != 0 && options.scheduler->HasQueuedTasks()) break;
         const size_t ci = cursor.fetch_add(1, std::memory_order_relaxed);
         if (ci >= centers.size()) break;
         if (interrupted_now()) {
@@ -1126,46 +1140,35 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
       }
     };
 
-    // Fan out: helpers register under the guard before doing any work, the
-    // caller runs lane 0 itself, then closes the guard and waits only for
-    // helpers that actually registered. A helper still queued behind other
-    // pool work when the query finishes sees `closed` and no-ops (its only
-    // capture-by-value is the shared_ptr guard), so sharing the batch
-    // executor's pool can never deadlock: the caller finishes alone when
-    // no pool thread is free. ThreadPool::WaitAll is deliberately NOT used
-    // here — it would wait on unrelated batch tasks.
-    struct IntraGuard {
-      std::mutex mu;
-      std::condition_variable cv;
-      bool closed = false;
-      int running = 0;
+    // Fan out by PUBLISHING rather than pushing: the centers become a
+    // morsel source on the unified scheduler, the caller runs lane 0
+    // itself, and only scheduler workers with nothing better to do steal
+    // extra lanes off it. A saturated scheduler therefore costs this query
+    // exactly one Publish + Retire registry operation — no queued no-op
+    // helper tasks (the PR 5 lend/close handshake, and its QPS
+    // regression). Retire() blocks until every in-flight RunMorsels() has
+    // returned, so everything the lanes reference — run_lane, the cursor,
+    // the LaneData vector, all of it stack-held — is exclusively owned
+    // again before this frame unwinds or reads lane results: the morsel
+    // descriptor is fully owned, with no use-after-free window.
+    struct RefineSource : TaskScheduler::MorselSource {
+      std::function<void(int)>* run = nullptr;
+      std::atomic<int> next_lane{1};  // Lane 0 is the calling thread.
+      int lane_cap = 1;
+      bool RunMorsels(int /*worker*/) override {
+        const int lane = next_lane.fetch_add(1, std::memory_order_relaxed);
+        if (lane >= lane_cap) return false;
+        (*run)(lane);
+        return true;
+      }
     };
-    auto guard = std::make_shared<IntraGuard>();
-    std::atomic<int> lane_counter{1};
-    for (int i = 0; i < max_lanes - 1; ++i) {
-      options.intra_query_pool->Submit(
-          [guard, &run_lane, &lane_counter](int) {
-            {
-              std::lock_guard<std::mutex> lock(guard->mu);
-              if (guard->closed) return;
-              ++guard->running;
-            }
-            const int lane =
-                lane_counter.fetch_add(1, std::memory_order_relaxed);
-            run_lane(lane);
-            {
-              std::lock_guard<std::mutex> lock(guard->mu);
-              --guard->running;
-            }
-            guard->cv.notify_all();
-          });
-    }
+    std::function<void(int)> run_fn = run_lane;
+    RefineSource source;
+    source.run = &run_fn;
+    source.lane_cap = max_lanes;
+    options.scheduler->Publish(&source);
     run_lane(0);
-    {
-      std::unique_lock<std::mutex> lock(guard->mu);
-      guard->closed = true;
-      guard->cv.wait(lock, [&] { return guard->running == 0; });
-    }
+    options.scheduler->Retire(&source);
 
     if (par_interrupted.load(std::memory_order_relaxed)) {
       *interrupted = true;
@@ -1175,8 +1178,13 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
     // Merge: min-k of the keyed union == the serial loop's answer list.
     std::vector<LaneBest> merged;
     uint32_t lanes_used = 0;
-    for (LaneData& ld : lanes) {
+    uint64_t morsels = 0;
+    uint64_t morsels_stolen = 0;
+    for (int lane = 0; lane < max_lanes; ++lane) {
+      LaneData& ld = lanes[lane];
       if (ld.claimed > 0) ++lanes_used;
+      morsels += ld.claimed;
+      if (lane > 0) morsels_stolen += ld.claimed;
       for (LaneBest& e : ld.best) merged.push_back(std::move(e));
     }
     std::sort(merged.begin(), merged.end(), lane_key_less);
@@ -1184,6 +1192,8 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
     best.clear();
     for (LaneBest& e : merged) best.push_back(std::move(e.answer));
     stats->intra_lanes_used = std::max(stats->intra_lanes_used, lanes_used);
+    stats->refine_morsels += morsels;
+    stats->refine_morsels_stolen += morsels_stolen;
     for (int lane = 0; lane < max_lanes; ++lane) {
       LaneData& ld = lanes[lane];
       if (lane > 0) {

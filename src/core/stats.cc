@@ -37,6 +37,8 @@ void QueryStats::MergeFrom(const QueryStats& other) {
   dist_cache_row_hits += other.dist_cache_row_hits;
   dist_cache_row_misses += other.dist_cache_row_misses;
   intra_lanes_used = std::max(intra_lanes_used, other.intra_lanes_used);
+  refine_morsels += other.refine_morsels;
+  refine_morsels_stolen += other.refine_morsels_stolen;
   interest_pairs_scored += other.interest_pairs_scored;
 }
 
@@ -52,7 +54,7 @@ std::string QueryStats::ToString() const {
       "pois seen=%llu pruned(match=%llu, distance=%llu) candidates=%llu "
       "index-pruned-pois=%llu\n"
       "refine: groups=%llu pairs=%llu exact-dist=%llu truncated=%d "
-      "lanes=%u interest-pairs=%llu\n"
+      "lanes=%u morsels=%llu (stolen=%llu) interest-pairs=%llu\n"
       "phases: descent=%.6fs ball=%.6fs refine=%.6fs exact-dist=%.6fs; "
       "dist-cache rows hit=%llu miss=%llu",
       cpu_seconds, static_cast<unsigned long long>(io.page_misses),
@@ -78,6 +80,8 @@ std::string QueryStats::ToString() const {
       static_cast<unsigned long long>(pairs_examined),
       static_cast<unsigned long long>(exact_distance_evals),
       truncated ? 1 : 0, intra_lanes_used,
+      static_cast<unsigned long long>(refine_morsels),
+      static_cast<unsigned long long>(refine_morsels_stolen),
       static_cast<unsigned long long>(interest_pairs_scored),
       descent_seconds, ball_seconds, refine_seconds,
       exact_dist_seconds, static_cast<unsigned long long>(dist_cache_row_hits),

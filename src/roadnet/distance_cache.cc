@@ -23,6 +23,10 @@ DistanceCache::DistanceCache(const DistanceCacheOptions& options)
   shards_ = std::vector<Shard>(shards);
   per_shard_capacity_ =
       std::max<size_t>(1, (max_entries_ + shards - 1) / shards);
+  poi_gen_ = std::make_unique<std::atomic<uint32_t>[]>(kPoiGenBuckets);
+  for (size_t i = 0; i < kPoiGenBuckets; ++i) {
+    poi_gen_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 bool DistanceCache::Lookup(UserId user, PoiId poi, double bound,
@@ -36,6 +40,15 @@ bool DistanceCache::Lookup(UserId user, PoiId poi, double bound,
     return false;
   }
   Entry& e = it->second;
+  if (e.poi_gen != PoiGen(poi).load(std::memory_order_acquire)) {
+    // The POI's bucket was invalidated after this entry was cached (e.g.
+    // AddPoi rewired edges near it): drop lazily and miss.
+    shard.lru.erase(e.lru);
+    shard.map.erase(it);
+    ++shard.stale_drops;
+    ++shard.misses;
+    return false;
+  }
   if (!std::isfinite(e.dist) && e.bound < bound) {
     // "dist > e.bound" says nothing about bounds beyond e.bound.
     ++shard.misses;
@@ -54,9 +67,18 @@ void DistanceCache::Insert(UserId user, PoiId poi, double bound,
   const uint64_t key = Key(user, poi);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
+  const uint32_t gen = PoiGen(poi).load(std::memory_order_acquire);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     Entry& e = it->second;
+    if (e.poi_gen != gen) {
+      // Stale survivor: the fresh value simply replaces it.
+      e.dist = dist;
+      e.bound = bound;
+      e.poi_gen = gen;
+      shard.lru.splice(shard.lru.begin(), shard.lru, e.lru);
+      return;
+    }
     // Finite (exact) beats inf; among inf tags the larger bound is
     // strictly more informative.
     if (std::isfinite(dist)) {
@@ -78,9 +100,17 @@ void DistanceCache::Insert(UserId user, PoiId poi, double bound,
   Entry e;
   e.dist = dist;
   e.bound = bound;
+  e.poi_gen = gen;
   e.lru = shard.lru.begin();
   shard.map.emplace(key, e);
   ++shard.insertions;
+}
+
+void DistanceCache::InvalidatePoi(PoiId poi) {
+  // Release pairs with Lookup/Insert acquire loads: a reader that sees the
+  // new generation also sees every network mutation sequenced before this
+  // call (the caller mutates the network first, then invalidates).
+  PoiGen(poi).fetch_add(1, std::memory_order_release);
 }
 
 DistanceCache::Stats DistanceCache::GetStats() const {
@@ -91,6 +121,7 @@ DistanceCache::Stats DistanceCache::GetStats() const {
     stats.misses += shard.misses;
     stats.insertions += shard.insertions;
     stats.evictions += shard.evictions;
+    stats.stale_drops += shard.stale_drops;
     stats.entries += shard.map.size();
   }
   return stats;
@@ -107,18 +138,19 @@ void DistanceCache::Clear() {
 }
 
 std::string DistanceCache::Stats::ToString() const {
-  char buf[160];
+  char buf[192];
   const uint64_t total = hits + misses;
   std::snprintf(buf, sizeof(buf),
                 "entries=%zu hits=%llu misses=%llu (%.1f%% hit) "
-                "insertions=%llu evictions=%llu",
+                "insertions=%llu evictions=%llu stale-drops=%llu",
                 entries, static_cast<unsigned long long>(hits),
                 static_cast<unsigned long long>(misses),
                 total > 0 ? 100.0 * static_cast<double>(hits) /
                                 static_cast<double>(total)
                           : 0.0,
                 static_cast<unsigned long long>(insertions),
-                static_cast<unsigned long long>(evictions));
+                static_cast<unsigned long long>(evictions),
+                static_cast<unsigned long long>(stale_drops));
   return buf;
 }
 

@@ -16,6 +16,13 @@
 // Serving an inf entry computed under a smaller bound to a larger-bound
 // request would wrongly report "unreachable"; Lookup treats that case as
 // a miss. See DESIGN.md "Distance backends & caching".
+//
+// Dynamic maintenance invalidates SURGICALLY, not wholesale: entries are
+// stamped with the generation of their POI's bucket in a fixed table of
+// atomic counters, and InvalidatePoi(poi) just bumps that bucket. Lookup
+// drops entries whose stamp is stale (lazy eviction), so an AddPoi only
+// costs the cache the columns that share the mutated POI's bucket — every
+// other cached row keeps serving hits. Clear() remains for full resets.
 
 #ifndef GPSSN_ROADNET_DISTANCE_CACHE_H_
 #define GPSSN_ROADNET_DISTANCE_CACHE_H_
@@ -23,6 +30,7 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -66,6 +74,7 @@ class DistanceCache {
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t evictions = 0;
+    uint64_t stale_drops = 0;  // Entries dropped by generation mismatch.
     size_t entries = 0;
     std::string ToString() const;
   };
@@ -73,12 +82,26 @@ class DistanceCache {
 
   size_t max_entries() const { return max_entries_; }
 
+  /// Invalidates every cached (*, poi) distance by bumping the generation
+  /// of `poi`'s bucket; stale entries are dropped lazily on their next
+  /// Lookup. POIs sharing the bucket (id mod kPoiGenBuckets) are
+  /// conservatively invalidated too — safe, and with 4096 buckets the
+  /// collateral is 1/4096th of the id space per AddPoi instead of the
+  /// whole cache. O(1), no locks.
+  void InvalidatePoi(PoiId poi);
+
   void Clear();
 
  private:
+  /// Generation-table size (power of two). Small distinct POI ids map to
+  /// distinct buckets, which keeps invalidation exact in tests and small
+  /// datasets.
+  static constexpr size_t kPoiGenBuckets = 4096;
+
   struct Entry {
     double dist = kInfDistance;   // Exact when finite.
     double bound = 0.0;           // Tag: the bound `dist` was computed under.
+    uint32_t poi_gen = 0;         // Bucket generation at insert time.
     std::list<uint64_t>::iterator lru;
   };
 
@@ -90,6 +113,7 @@ class DistanceCache {
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t evictions = 0;
+    uint64_t stale_drops = 0;
   };
 
   static uint64_t Key(UserId user, PoiId poi) {
@@ -103,10 +127,17 @@ class DistanceCache {
     return shards_[(h >> 32) & shard_mask_];
   }
 
+  std::atomic<uint32_t>& PoiGen(PoiId poi) {
+    return poi_gen_[static_cast<uint32_t>(poi) & (kPoiGenBuckets - 1)];
+  }
+
   size_t max_entries_;
   size_t per_shard_capacity_;
   uint64_t shard_mask_;
   std::vector<Shard> shards_;
+  // Per-bucket POI generations (see InvalidatePoi). unique_ptr-to-array
+  // because std::atomic is neither copyable nor movable.
+  std::unique_ptr<std::atomic<uint32_t>[]> poi_gen_;
 };
 
 }  // namespace gpssn

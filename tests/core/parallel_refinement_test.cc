@@ -1,18 +1,19 @@
-// Intra-query parallel refinement determinism: at EVERY worker count the
-// reported answer must be byte-identical to the serial loop's — same users,
-// same center, same POIs, and the exact same objective double (the lanes
-// run the same engine arithmetic; only the schedule differs). Swept over 20
+// Intra-query parallel refinement determinism on the unified work-stealing
+// scheduler: at EVERY worker count the reported answer must be
+// byte-identical to the serial loop's — same users, same center, same
+// POIs, and the exact same objective double (the stolen-morsel lanes run
+// the same engine arithmetic; only the schedule differs). Swept over 20
 // random networks × worker counts {1, 2, 4, 8} × distance configurations
 // (built-in Dijkstra, CH backend, shared distance cache, vectorized social
 // kernels). Also exercises mid-refinement cancellation and deadlines with
-// lanes running on pool threads (the TSAN preset runs this test).
+// lanes stolen by scheduler workers (the TSAN preset runs this test).
 
 #include <atomic>
 #include <thread>
 
 #include <gtest/gtest.h>
 
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "core/database.h"
 #include "roadnet/distance_backend.h"
 #include "roadnet/distance_cache.h"
@@ -37,7 +38,7 @@ void ExpectByteIdentical(const GpssnAnswer& want, const GpssnAnswer& got,
       << label << " seed=" << seed << " workers=" << workers;
 }
 
-GpssnDatabase MakeDb(uint64_t seed, Rng* rng) {
+GpssnDatabase MakeDb(uint64_t /*seed*/, Rng* rng) {
   SyntheticSsnOptions data;
   data.num_road_vertices = 100 + static_cast<int>(rng->NextBounded(100));
   data.num_pois = 35 + static_cast<int>(rng->NextBounded(35));
@@ -102,9 +103,9 @@ TEST_P(ParallelRefinementTest, ByteIdenticalAtEveryWorkerCount) {
       ASSERT_TRUE(want.ok()) << want.status().ToString();
 
       for (int workers : {1, 2, 4, 8}) {
-        ThreadPool pool(std::max(1, workers - 1));
+        TaskScheduler scheduler(std::max(1, workers - 1));
         QueryOptions par = serial;
-        par.intra_query_pool = &pool;
+        par.scheduler = &scheduler;
         par.intra_query_workers = workers;
         QueryStats par_stats;
         auto got = db.Query(q, par, &par_stats);
@@ -139,9 +140,9 @@ TEST_P(ParallelRefinementTest, TopKByteIdentical) {
   ASSERT_TRUE(want.ok()) << want.status().ToString();
 
   for (int workers : {2, 4, 8}) {
-    ThreadPool pool(workers - 1);
+    TaskScheduler scheduler(workers - 1);
     QueryOptions par;
-    par.intra_query_pool = &pool;
+    par.scheduler = &scheduler;
     par.intra_query_workers = workers;
     auto got = db.QueryTopK(q, 3, par);
     ASSERT_TRUE(got.ok()) << got.status().ToString();
@@ -168,7 +169,7 @@ TEST(ParallelRefinementInterruptTest, CancelFromAnotherThreadMidQuery) {
   build.poi_index.r_min = 0.3;
   build.poi_index.r_max = 5.0;
   GpssnDatabase db(MakeSynthetic(data), build);
-  ThreadPool pool(3);
+  TaskScheduler scheduler(3);
 
   for (int round = 0; round < 6; ++round) {
     GpssnQuery q = RandomQuery(db, &rng);
@@ -179,7 +180,8 @@ TEST(ParallelRefinementInterruptTest, CancelFromAnotherThreadMidQuery) {
 
     std::atomic<bool> cancel{false};
     QueryOptions par;
-    par.intra_query_pool = &pool;
+    par.scheduler = &scheduler;
+    par.intra_query_workers = 4;  // Force lanes even on a 1-core host.
     par.cancel = &cancel;
     std::thread canceller([&cancel, round] {
       std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
@@ -209,13 +211,14 @@ TEST(ParallelRefinementInterruptTest, DeadlineFiresWithLanesRunning) {
   build.poi_index.r_min = 0.3;
   build.poi_index.r_max = 5.0;
   GpssnDatabase db(MakeSynthetic(data), build);
-  ThreadPool pool(3);
+  TaskScheduler scheduler(3);
 
   for (int round = 0; round < 6; ++round) {
     GpssnQuery q = RandomQuery(db, &rng);
     q.radius = 4.5;
     QueryOptions par;
-    par.intra_query_pool = &pool;
+    par.scheduler = &scheduler;
+    par.intra_query_workers = 4;  // Force lanes even on a 1-core host.
     par.deadline = QueryDeadline::After(round * 10e-6);
     auto got = db.Query(q, par);
     if (!got.ok()) {

@@ -126,6 +126,57 @@ TEST(DynamicPoiTest, DatabaseQueriesStayExactAfterInserts) {
   }
 }
 
+TEST(DynamicPoiTest, SharedCacheSurvivesUnrelatedAddPoi) {
+  // Regression: AddPoi used to Clear() the whole shared DistanceCache, so
+  // every batch worker recomputed every row after ANY insert. Invalidation
+  // is now generation-tagged per POI column: rows cached before an
+  // UNRELATED AddPoi must still serve hits afterwards.
+  GpssnBuildOptions build;
+  build.num_road_pivots = 3;
+  build.num_social_pivots = 3;
+  build.distance_cache_entries = 1 << 16;
+  GpssnDatabase db(MakeSynthetic(SmallData(6)), build);
+  ASSERT_NE(db.distance_cache(), nullptr);
+
+  GpssnQuery q;
+  q.issuer = 11;
+  q.tau = 3;
+  q.gamma = 0.2;
+  q.theta = 0.2;
+  q.radius = 2.5;
+  // First run fills the cache; second run proves rows actually hit.
+  ASSERT_TRUE(db.Query(q).ok());
+  const auto warm = db.distance_cache()->GetStats();
+  ASSERT_GT(warm.insertions, 0u) << "workload never touched the cache; "
+                                    "the regression check below is vacuous";
+  ASSERT_TRUE(db.Query(q).ok());
+  const auto before = db.distance_cache()->GetStats();
+  ASSERT_GT(before.hits, warm.hits);
+
+  // Open a facility somewhere; the existing columns must keep serving.
+  Rng rng(13);
+  const EdgePosition pos{
+      static_cast<EdgeId>(rng.NextBounded(db.ssn().road().num_edges())),
+      rng.UniformDouble()};
+  auto id = db.AddPoi(pos, {1});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_GT(db.distance_cache()->GetStats().entries, 0u)
+      << "AddPoi wiped the cache wholesale";
+
+  QueryStats stats;
+  auto got = db.Query(q, QueryOptions(), &stats);
+  ASSERT_TRUE(got.ok());
+  const auto after = db.distance_cache()->GetStats();
+  EXPECT_GT(after.hits, before.hits)
+      << "no cached row survived the unrelated AddPoi";
+  // And the answers stay exact over the grown network.
+  const GpssnAnswer oracle = BruteForceGpssn(db.ssn(), q);
+  ASSERT_EQ(got->found, oracle.found);
+  if (oracle.found) {
+    EXPECT_NEAR(got->max_dist, oracle.max_dist, 1e-9);
+  }
+}
+
 TEST(DynamicPoiTest, NewPoiCanBecomeTheAnswer) {
   GpssnBuildOptions build;
   build.num_road_pivots = 2;

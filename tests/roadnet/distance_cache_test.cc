@@ -115,6 +115,55 @@ TEST(DistanceCacheTest, ClearDropsEverythingAndKeepsCounters) {
   EXPECT_FALSE(stats.ToString().empty());
 }
 
+TEST(DistanceCacheTest, InvalidatePoiDropsOnlyThatColumn) {
+  DistanceCache cache;
+  // Three users × two POIs (small distinct ids land in distinct
+  // generation buckets, so the invalidation is exact here).
+  for (UserId u = 1; u <= 3; ++u) {
+    cache.Insert(u, 10, 10.0, static_cast<double>(u));
+    cache.Insert(u, 20, 10.0, static_cast<double>(u) + 0.5);
+  }
+  cache.InvalidatePoi(10);
+  double d = 0.0;
+  for (UserId u = 1; u <= 3; ++u) {
+    // The invalidated column misses (and drops its entries lazily)...
+    EXPECT_FALSE(cache.Lookup(u, 10, 10.0, &d)) << "user " << u;
+    // ...while the unrelated column keeps serving hits.
+    ASSERT_TRUE(cache.Lookup(u, 20, 10.0, &d)) << "user " << u;
+    EXPECT_EQ(d, static_cast<double>(u) + 0.5);
+  }
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.stale_drops, 3u);
+  EXPECT_EQ(stats.entries, 3u);  // Only the surviving column remains.
+}
+
+TEST(DistanceCacheTest, InsertAfterInvalidateServesFreshValue) {
+  DistanceCache cache;
+  cache.Insert(7, 5, 10.0, 2.0);
+  cache.InvalidatePoi(5);
+  // A fresh insert after the bump carries the new generation: it must
+  // serve, and it must replace the stale entry rather than merge with it
+  // (an inf insert would otherwise lose to the stale finite value).
+  cache.Insert(7, 5, 4.0, kInfDistance);
+  double d = 0.0;
+  ASSERT_TRUE(cache.Lookup(7, 5, 4.0, &d));
+  EXPECT_EQ(d, kInfDistance);
+  EXPECT_FALSE(cache.Lookup(7, 5, 9.0, &d));  // dist > 4 says nothing here.
+}
+
+TEST(DistanceCacheTest, RepeatedInvalidationsKeepCounting) {
+  DistanceCache cache;
+  for (int round = 0; round < 5; ++round) {
+    cache.Insert(1, 3, 10.0, 1.0 + round);
+    double d = 0.0;
+    ASSERT_TRUE(cache.Lookup(1, 3, 10.0, &d));
+    EXPECT_EQ(d, 1.0 + round);
+    cache.InvalidatePoi(3);
+    EXPECT_FALSE(cache.Lookup(1, 3, 10.0, &d));
+  }
+  EXPECT_EQ(cache.GetStats().stale_drops, 5u);
+}
+
 TEST(DistanceCacheTest, ConcurrentHammerKeepsEntriesConsistent) {
   // 8 threads × overlapping key ranges. Every thread inserts the canonical
   // value f(u, o) and checks that any hit returns either that exact value
@@ -140,6 +189,11 @@ TEST(DistanceCacheTest, ConcurrentHammerKeepsEntriesConsistent) {
         const UserId u = static_cast<UserId>((state >> 33) % kKeys);
         const PoiId o = static_cast<PoiId>((state >> 17) % kKeys);
         const double want = canonical(u, o);
+        if (state % 97 == 0) {
+          // Races generation bumps against lookups/inserts; the canonical
+          // value per key is fixed, so hits stay checkable afterwards.
+          cache.InvalidatePoi(o);
+        }
         if ((state & 3) == 0) {
           cache.Insert(u, o, /*bound=*/1e9, want);
         } else if ((state & 3) == 1) {
