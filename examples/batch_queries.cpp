@@ -49,7 +49,7 @@ int main() {
     // DeadlineExceeded instead of stalling the batch.
     executor.Submit(burst[i], /*deadline_seconds=*/0.050,
                     [&completed](const BatchQueryResult& r) {
-                      completed.fetch_add(1, std::memory_order_relaxed);
+                      completed.fetch_add(1, std::memory_order_relaxed);  // gpssn-lint: relaxed(progress counter; read after Wait)
                       (void)r;  // Per-query answer, stats, latency.
                     });
   }

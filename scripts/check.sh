@@ -8,12 +8,20 @@
 #           compile_commands.json when clang-tidy is installed
 #   audit   GPSSN_AUDIT build (index validators at processor construction,
 #           abort-on-violation pruning auditor) + full test suite
+#   tsa     Clang Thread-Safety Analysis build (GPSSN_THREAD_SAFETY=ON:
+#           -Wthread-safety[-beta] as errors over the capability
+#           annotations of src/common/sync.h) + the TSA compile-fail test
+#   analyzer  Clang Static Analyzer (clang-tidy clang-analyzer-* +
+#           concurrency-* as errors) over the compile database
 #
 # Usage: scripts/check.sh
-#          [--tier1-only|--tsan-only|--ubsan-only|--lint-only|--audit-only]
+#          [--tier1-only|--tsan-only|--ubsan-only|--lint-only|--audit-only|
+#           --tsa-only|--analyzer-only]
 #
 # `--lint-only` is the static-analysis gate: lint.py, clang-tidy (when
 # available), and a UBSan test pass. The default (no flag) runs everything.
+# The tsa and analyzer modes need Clang; when clang++ / clang-tidy is not
+# installed they skip with a notice (CI installs Clang for its jobs).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,9 +30,9 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 TSAN_TESTS='gpssn_common_task_scheduler_test|gpssn_core_parallel_refinement_test|gpssn_core_concurrency_test|gpssn_core_executor_test|gpssn_core_scheduler_stress_test|gpssn_ssn_serialize_fuzz_test|gpssn_roadnet_distance_cache_test'
 MODE="${1:-all}"
 case "$MODE" in
-  all|--tier1-only|--tsan-only|--ubsan-only|--lint-only|--audit-only) ;;
+  all|--tier1-only|--tsan-only|--ubsan-only|--lint-only|--audit-only|--tsa-only|--analyzer-only) ;;
   *)
-    echo "usage: scripts/check.sh [--tier1-only|--tsan-only|--ubsan-only|--lint-only|--audit-only]" >&2
+    echo "usage: scripts/check.sh [--tier1-only|--tsan-only|--ubsan-only|--lint-only|--audit-only|--tsa-only|--analyzer-only]" >&2
     exit 2
     ;;
 esac
@@ -71,6 +79,34 @@ run_lint() {
   fi
 }
 
+run_tsa() {
+  echo "=== TSA: Clang Thread-Safety Analysis build ==="
+  if ! command -v clang++ > /dev/null 2>&1; then
+    echo "clang++ not installed; skipping TSA build (annotations are no-ops off-Clang)"
+    return 0
+  fi
+  cmake -B build-tsa-check -S . -DGPSSN_THREAD_SAFETY=ON \
+    -DCMAKE_CXX_COMPILER=clang++
+  cmake --build build-tsa-check -j "$JOBS"
+  # The compile-fail smoke test proves the analysis actually rejects an
+  # unguarded access (a misconfigured toolchain that silently drops the
+  # warnings would otherwise pass vacuously).
+  (cd build-tsa-check && ctest --output-on-failure -R gpssn_common_tsa_compile_fail)
+}
+
+run_analyzer() {
+  echo "=== analyzer: clang-tidy clang-analyzer-* + concurrency-* ==="
+  if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "clang-tidy not installed; skipping static analyzer pass"
+    return 0
+  fi
+  cmake -B build -S . > /dev/null
+  mapfile -t tidy_files < <(git ls-files 'src/*.cc' 'src/**/*.cc')
+  clang-tidy -p build --quiet \
+    --checks='-*,clang-analyzer-core.*,clang-analyzer-cplusplus.*,concurrency-*' \
+    --warnings-as-errors='*' "${tidy_files[@]}"
+}
+
 run_audit() {
   echo "=== audit: GPSSN_AUDIT build + full test suite ==="
   cmake -B build-audit -S . -DGPSSN_AUDIT=ON
@@ -85,6 +121,8 @@ case "$MODE" in
     run_ubsan
     run_lint
     run_audit
+    run_tsa
+    run_analyzer
     ;;
   --tier1-only) run_tier1 ;;
   --tsan-only) run_tsan ;;
@@ -94,6 +132,8 @@ case "$MODE" in
     run_ubsan
     ;;
   --audit-only) run_audit ;;
+  --tsa-only) run_tsa ;;
+  --analyzer-only) run_analyzer ;;
 esac
 
 echo "OK"

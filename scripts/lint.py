@@ -18,6 +18,25 @@ Rules (each finding prints `path:line: [rule] message`, exit status 1):
   header-guard     Headers use `#ifndef GPSSN_<PATH>_H_` guards derived
                    from their path (src-relative for src/, repo-relative
                    elsewhere); `#pragma once` is banned for consistency.
+  naked-mutex      Raw std synchronization vocabulary (std::mutex,
+                   std::lock_guard, std::unique_lock, std::condition_variable
+                   and friends, plus their <mutex>/<shared_mutex>/
+                   <condition_variable> includes) is confined to
+                   src/common/sync.* — everything else must use the
+                   capability-annotated wrappers (Mutex, MutexLock, CondVar)
+                   so Clang Thread-Safety Analysis covers it.
+  relaxed-justification
+                   Every `std::memory_order_relaxed` must carry a same-line
+                   `// gpssn-lint: relaxed(<reason>)` tag saying why relaxed
+                   ordering is sound there (monotone counter, cooperative
+                   flag with an external barrier, ...).
+  lock-order       Named mutexes declare their acquisition order in
+                   `gpssn-lock-order: a -> b -> c` comments (collected from
+                   the scanned tree). Nested MutexLock / ReaderMutexLock /
+                   WriterMutexLock scopes are checked lexically against the
+                   declared (transitively closed) order: reacquiring a held
+                   name, reversing a declared edge, or nesting a pair with
+                   no declared order is a finding.
 
 Suppress a finding by putting `gpssn-lint: allow(<rule>)` in a comment on
 the offending line.
@@ -32,7 +51,8 @@ import pathlib
 import re
 import sys
 
-RULES = ("raw-new-delete", "ignored-status", "include-hygiene", "header-guard")
+RULES = ("raw-new-delete", "ignored-status", "include-hygiene",
+         "header-guard", "naked-mutex", "relaxed-justification", "lock-order")
 
 # Directories scanned in a normal run, relative to the repo root.
 SCAN_DIRS = ("src", "tests", "bench", "examples")
@@ -318,6 +338,150 @@ def check_header_guard(path, root, raw_lines, code_lines, findings):
 
 
 # --------------------------------------------------------------------------
+# Rule: naked-mutex
+# --------------------------------------------------------------------------
+
+NAKED_SYNC_RE = re.compile(
+    r"\bstd\s*::\s*(?:mutex|timed_mutex|recursive_mutex|"
+    r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b")
+SYNC_INCLUDE_RE = re.compile(
+    r"^\s*#\s*include\s+<(?:mutex|shared_mutex|condition_variable)>")
+
+
+def check_naked_mutex(path, root, raw_lines, code_lines, findings):
+    rel = relpath(path, root)
+    # The wrapper layer itself is the one legitimate home of the raw
+    # primitives (its uses still carry allow() tags as documentation).
+    if rel.startswith("src/common/sync."):
+        return
+    for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        if "naked-mutex" in allowed_rules(raw):
+            continue
+        m = NAKED_SYNC_RE.search(code)
+        if m is None and SYNC_INCLUDE_RE.match(code):
+            m = SYNC_INCLUDE_RE.match(code)
+        if m:
+            findings.append(Finding(
+                rel, lineno, "naked-mutex",
+                "raw std synchronization primitive outside src/common/sync.* "
+                "(use the annotated Mutex/MutexLock/CondVar wrappers)"))
+
+
+# --------------------------------------------------------------------------
+# Rule: relaxed-justification
+# --------------------------------------------------------------------------
+
+RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+RELAXED_TAG_RE = re.compile(r"gpssn-lint:\s*relaxed\(([^)]*\S[^)]*)\)")
+
+
+def check_relaxed_justification(path, root, raw_lines, code_lines, findings):
+    rel = relpath(path, root)
+    for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        if not RELAXED_RE.search(code):
+            continue
+        if "relaxed-justification" in allowed_rules(raw):
+            continue
+        if RELAXED_TAG_RE.search(raw):
+            continue
+        findings.append(Finding(
+            rel, lineno, "relaxed-justification",
+            "memory_order_relaxed without a same-line "
+            "`gpssn-lint: relaxed(<reason>)` justification"))
+
+
+# --------------------------------------------------------------------------
+# Rule: lock-order
+# --------------------------------------------------------------------------
+
+LOCK_ORDER_DECL_RE = re.compile(r"gpssn-lock-order:\s*([\w\s>-]+?)\s*$")
+SCOPED_LOCK_RE = re.compile(
+    r"\b(?:MutexLock|ReaderMutexLock|WriterMutexLock)\s+\w+\s*\(([^)]*)\)")
+
+
+def canonical_mutex_name(arg):
+    """`slot->mu` / `shard.mu` / `&mu_` -> the member's own name."""
+    arg = arg.strip().lstrip("&*").strip()
+    for sep in ("->", ".", "::"):
+        if sep in arg:
+            arg = arg.rsplit(sep, 1)[1]
+    return arg.strip()
+
+
+def harvest_lock_order(root, files):
+    """Declared edges, transitively closed: order[(a, b)] means a before b."""
+    edges = set()
+    for path in files:
+        for raw in path.read_text(encoding="utf-8",
+                                  errors="replace").splitlines():
+            m = LOCK_ORDER_DECL_RE.search(raw)
+            if not m:
+                continue
+            names = [n.strip() for n in m.group(1).split("->")]
+            names = [n for n in names if n]
+            for a, b in zip(names, names[1:]):
+                edges.add((a, b))
+    # Transitive closure (the declared chains are tiny).
+    changed = True
+    while changed:
+        changed = False
+        for a, b in list(edges):
+            for c, d in list(edges):
+                if b == c and (a, d) not in edges:
+                    edges.add((a, d))
+                    changed = True
+    return edges
+
+
+def check_lock_order(path, root, raw_lines, code_lines, findings, order):
+    rel = relpath(path, root)
+    depth = 0
+    held = []  # (canonical name, depth at declaration)
+    for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        # Interleave brace and lock-declaration events in column order so a
+        # lock's scope is the block it is declared in.
+        events = [(i, c) for i, c in enumerate(code) if c in "{}"]
+        for m in SCOPED_LOCK_RE.finditer(code):
+            events.append((m.start(), m))
+        events.sort(key=lambda e: e[0])
+        for _, ev in events:
+            if ev == "{":
+                depth += 1
+            elif ev == "}":
+                depth -= 1
+                while held and held[-1][1] > depth:
+                    held.pop()
+            else:
+                name = canonical_mutex_name(ev.group(1))
+                if not name:
+                    continue
+                if "lock-order" in allowed_rules(raw):
+                    held.append((name, depth))
+                    continue
+                for held_name, _ in held:
+                    if held_name == name:
+                        findings.append(Finding(
+                            rel, lineno, "lock-order",
+                            f"`{name}` is already held by an enclosing "
+                            "scope (reacquisition self-deadlocks)"))
+                    elif (name, held_name) in order:
+                        findings.append(Finding(
+                            rel, lineno, "lock-order",
+                            f"acquiring `{name}` while holding "
+                            f"`{held_name}` reverses the declared order "
+                            f"`{name} -> {held_name}`"))
+                    elif (held_name, name) not in order:
+                        findings.append(Finding(
+                            rel, lineno, "lock-order",
+                            f"nested acquisition `{held_name}` -> `{name}` "
+                            "has no declared order (add a "
+                            "`gpssn-lock-order:` comment)"))
+                held.append((name, depth))
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -339,8 +503,10 @@ def iter_files(root):
 def lint_tree(root):
     root = root.resolve()
     status_names = harvest_status_methods(root)
+    files = list(iter_files(root))
+    lock_order = harvest_lock_order(root, files)
     findings = []
-    for path in iter_files(root):
+    for path in files:
         text = path.read_text(encoding="utf-8", errors="replace")
         raw_lines = text.splitlines()
         code_lines = strip_comments_and_strings(text).splitlines()
@@ -353,6 +519,11 @@ def lint_tree(root):
                              status_names)
         check_include_hygiene(path, root, raw_lines, code_lines, findings)
         check_header_guard(path, root, raw_lines, code_lines, findings)
+        check_naked_mutex(path, root, raw_lines, code_lines, findings)
+        check_relaxed_justification(path, root, raw_lines, code_lines,
+                                    findings)
+        check_lock_order(path, root, raw_lines, code_lines, findings,
+                         lock_order)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 

@@ -57,6 +57,10 @@ class PageAllocator {
 
 /// LRU buffer pool over simulated pages. Thread-compatible (external
 /// synchronization required if shared), like a per-query scratch structure.
+/// Deliberately NOT a capability of common/sync.h: every pool is owned by
+/// exactly one lane (the parallel refinement path allocates one pool per
+/// stolen lane precisely so this stays single-threaded), so a mutex here
+/// would be pure hot-path overhead with nothing to guard.
 class BufferPool {
  public:
   /// `capacity_pages` == 0 disables caching (every access is a miss).

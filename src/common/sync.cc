@@ -1,0 +1,16 @@
+#include "common/sync.h"
+
+namespace gpssn {
+
+void CondVar::Wait(Mutex& mu) {
+  // Adopt the std::mutex the caller already holds (the REQUIRES contract),
+  // let the condition variable release/reacquire it around the block, and
+  // release the unique_lock WITHOUT unlocking so the caller still holds the
+  // capability on return.
+  std::unique_lock<std::mutex> lock(  // gpssn-lint: allow(naked-mutex)
+      mu.mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+}
+
+}  // namespace gpssn

@@ -129,12 +129,14 @@ std::vector<BatchQueryResult> GpssnDatabase::QueryBatch(
 
 Status GpssnDatabase::UpdateUserInterests(UserId u,
                                           std::span<const double> interests) {
+  MutexLock lock(maintenance_mu_);
   GPSSN_RETURN_NOT_OK(ssn_.UpdateUserInterests(u, interests));
   return social_index_->UpdateUserInterests(u);
 }
 
 Result<PoiId> GpssnDatabase::AddPoi(const EdgePosition& position,
                                     std::vector<KeywordId> keywords) {
+  MutexLock lock(maintenance_mu_);
   GPSSN_ASSIGN_OR_RETURN(const PoiId id,
                          ssn_.AddPoi(position, std::move(keywords)));
   GPSSN_RETURN_NOT_OK(poi_index_->InsertPoi(id));

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/executor.h"
 #include "core/query.h"
 #include "index/pivot_select.h"
@@ -101,18 +102,32 @@ class GpssnDatabase {
 
   /// Dynamic maintenance: a new facility opens on an existing road edge.
   /// Appends the POI, patches I_R (see PoiIndex::InsertPoi), and refreshes
-  /// the query processor. Returns the new POI id.
+  /// the query processor. Returns the new POI id. Maintenance calls
+  /// serialize on maintenance_mu_ (single-writer); they must still not
+  /// overlap concurrent queries — see the class comment.
   Result<PoiId> AddPoi(const EdgePosition& position,
-                       std::vector<KeywordId> keywords);
+                       std::vector<KeywordId> keywords)
+      GPSSN_EXCLUDES(maintenance_mu_);
 
   /// Dynamic maintenance: a user's interest profile drifted (new
   /// check-ins). Updates the network and patches I_S's interest boxes.
-  Status UpdateUserInterests(UserId u, std::span<const double> interests);
+  /// Serialized on maintenance_mu_ like AddPoi.
+  Status UpdateUserInterests(UserId u, std::span<const double> interests)
+      GPSSN_EXCLUDES(maintenance_mu_);
 
  private:
   /// Fills the distance backend / cache fields of `options` from the
   /// database-level defaults when the caller left them null.
   QueryOptions WithDatabaseDefaults(QueryOptions options);
+
+  // Serializes the dynamic-maintenance mutators (AddPoi,
+  // UpdateUserInterests) against EACH OTHER: two concurrent AddPoi calls
+  // used to interleave their ssn_ append / I_R patch / processor swap with
+  // no lock at all. Queries are NOT covered — the reader side of
+  // maintenance-vs-query isolation is the ROADMAP's snapshot-isolation
+  // item; until then callers must quiesce queries around maintenance,
+  // exactly as before.
+  Mutex maintenance_mu_;
 
   SpatialSocialNetwork ssn_;
   RoadPivotTable road_pivots_;

@@ -188,7 +188,7 @@ std::vector<BatchQueryResult> GpssnBatchExecutor::Wait(BatchStats* stats) {
   for (BatchQueryResult& r : results_) out.push_back(std::move(r));
   results_.clear();
   for (WorkerLane& lane : lanes_) lane.Reset();
-  cancel_.store(false, std::memory_order_relaxed);
+  cancel_.store(false, std::memory_order_relaxed);  // gpssn-lint: relaxed(flag reset before workers observe the batch)
   return out;
 }
 

@@ -16,6 +16,12 @@
 // share them without synchronization. Each worker aggregates into its own
 // cache-line-padded lane — no locks or atomics on the hot path; lanes are
 // merged on Wait(), after the scheduler's drain barrier has published them.
+// The executor therefore owns no mutex of its own: every lock it relies on
+// lives inside TaskScheduler, behind the capability-annotated wrappers of
+// common/sync.h (checked by Clang TSA under GPSSN_THREAD_SAFETY). The only
+// shared mutable executor state is the cancel_ flag, a plain relaxed
+// atomic: it is a cooperative latency hint, and the scheduler's WaitAll
+// drain is the ordering barrier for everything the workers wrote.
 
 #ifndef GPSSN_CORE_EXECUTOR_H_
 #define GPSSN_CORE_EXECUTOR_H_
@@ -145,7 +151,7 @@ class GpssnBatchExecutor {
   /// Raises the batch cancel flag: queued and in-flight queries finish
   /// with a Cancelled status (in-flight ones at their next cooperative
   /// poll). Wait() clears the flag for the next batch.
-  void CancelAll() { cancel_.store(true, std::memory_order_relaxed); }
+  void CancelAll() { cancel_.store(true, std::memory_order_relaxed); }  // gpssn-lint: relaxed(cooperative cancel flag; latency not ordering)
 
  private:
   // Per-worker aggregation lane. Each worker writes only its own lane

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <tuple>
@@ -168,7 +167,7 @@ Result<GpssnAnswer> GpssnProcessor::Execute(const GpssnQuery& query,
   // wants the answer regardless of the deadline).
   auto interrupted_status = [&options]() {
     if (options.cancel != nullptr &&
-        options.cancel->load(std::memory_order_relaxed)) {
+        options.cancel->load(std::memory_order_relaxed)) {  // gpssn-lint: relaxed(cooperative cancel flag; latency not ordering)
       return Status::Cancelled("query cancelled");
     }
     return Status::DeadlineExceeded("query deadline exceeded");
@@ -260,7 +259,7 @@ Result<std::vector<GpssnAnswer>> GpssnProcessor::ExecuteTopK(
   out->cpu_seconds = timer.ElapsedSeconds();
   if (interrupted) {
     if (options.cancel != nullptr &&
-        options.cancel->load(std::memory_order_relaxed)) {
+        options.cancel->load(std::memory_order_relaxed)) {  // gpssn-lint: relaxed(cooperative cancel flag; latency not ordering)
       return Status::Cancelled("query cancelled");
     }
     return Status::DeadlineExceeded("query deadline exceeded");
@@ -283,7 +282,7 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
   bool aborted = false;
   auto interrupted_now = [&options]() {
     return (options.cancel != nullptr &&
-            options.cancel->load(std::memory_order_relaxed)) ||
+            options.cancel->load(std::memory_order_relaxed)) ||  // gpssn-lint: relaxed(cooperative cancel flag; latency not ordering)
            options.deadline.Expired();
   };
   if (interrupted_now()) {
@@ -955,12 +954,14 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
     std::atomic<bool> par_interrupted{false};
     std::atomic<int64_t> par_budget{pair_budget};
     std::atomic<double> shared_bound{kInfDistance};
-    std::mutex audit_mu;  // Auditor hooks are not thread-safe.
+    // Hooks on the raw auditor are not thread-safe; every lane notifies
+    // through this serializing adapter instead (core/audit.h).
+    SerializedPruningAuditor shared_auditor(auditor);
 
     auto publish_bound = [&](double v) {
-      double cur = shared_bound.load(std::memory_order_relaxed);
+      double cur = shared_bound.load(std::memory_order_relaxed);  // gpssn-lint: relaxed(bound is a monotone pruning hint)
       while (v < cur && !shared_bound.compare_exchange_weak(
-                            cur, v, std::memory_order_relaxed)) {
+                            cur, v, std::memory_order_relaxed)) {  // gpssn-lint: relaxed(bound is a monotone pruning hint)
       }
     };
 
@@ -1026,23 +1027,23 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
       LaneData& ld = lanes[lane];
       IntraLane& ln = *intra_lanes_[lane];
       auto lane_bound = [&]() {
-        if (top_k == 1) return shared_bound.load(std::memory_order_relaxed);
+        if (top_k == 1) return shared_bound.load(std::memory_order_relaxed);  // gpssn-lint: relaxed(bound is a monotone pruning hint)
         return static_cast<int>(ld.best.size()) < top_k
                    ? kInfDistance
                    : ld.best.back().obj;
       };
       uint32_t stride = 0;
       for (;;) {
-        if (par_stop.load(std::memory_order_relaxed)) break;
+        if (par_stop.load(std::memory_order_relaxed)) break;  // gpssn-lint: relaxed(lane stop flag; Retire is the barrier)
         // Stolen lanes hand their worker back as soon as a query root task
         // is queued (admission beats help); lane 0 drains whatever remains.
         // Any lane may process any center, so answers are unaffected.
         if (lane != 0 && options.scheduler->HasQueuedTasks()) break;
-        const size_t ci = cursor.fetch_add(1, std::memory_order_relaxed);
+        const size_t ci = cursor.fetch_add(1, std::memory_order_relaxed);  // gpssn-lint: relaxed(claim counter; each index taken once)
         if (ci >= centers.size()) break;
         if (interrupted_now()) {
-          par_interrupted.store(true, std::memory_order_relaxed);
-          par_stop.store(true, std::memory_order_relaxed);
+          par_interrupted.store(true, std::memory_order_relaxed);  // gpssn-lint: relaxed(lane stop flag; Retire is the barrier)
+          par_stop.store(true, std::memory_order_relaxed);  // gpssn-lint: relaxed(lane stop flag; Retire is the barrier)
           break;
         }
         const auto& [center_lb, c] = centers[ci];
@@ -1057,10 +1058,10 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
 
         for (size_t gi = 0; gi < groups.size(); ++gi) {
           if ((++stride & 63u) == 0) {
-            if (par_stop.load(std::memory_order_relaxed)) break;
+            if (par_stop.load(std::memory_order_relaxed)) break;  // gpssn-lint: relaxed(lane stop flag; Retire is the barrier)
             if (interrupted_now()) {
-              par_interrupted.store(true, std::memory_order_relaxed);
-              par_stop.store(true, std::memory_order_relaxed);
+              par_interrupted.store(true, std::memory_order_relaxed);  // gpssn-lint: relaxed(lane stop flag; Retire is the barrier)
+              par_stop.store(true, std::memory_order_relaxed);  // gpssn-lint: relaxed(lane stop flag; Retire is the barrier)
               break;
             }
           }
@@ -1069,9 +1070,8 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
           for (UserId u : group) {
             const double user_lb = LbUserPoiDist(
                 social_index_->user_road_pivot_dists(u), center_aug);
-            if (auditor != nullptr) {
-              std::lock_guard<std::mutex> lock(audit_mu);
-              auditor->OnPairDistanceBound(ctx, u, c, user_lb);
+            if (shared_auditor.enabled()) {
+              shared_auditor.OnPairDistanceBound(ctx, u, c, user_lb);
             }
             pair_lb = std::max(pair_lb, user_lb);
           }
@@ -1096,9 +1096,9 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
           }
           if (!all_match) continue;
 
-          if (par_budget.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+          if (par_budget.fetch_sub(1, std::memory_order_relaxed) <= 0) {  // gpssn-lint: relaxed(budget counter; exactness not required)
             ld.stats.truncated = true;
-            par_stop.store(true, std::memory_order_relaxed);
+            par_stop.store(true, std::memory_order_relaxed);  // gpssn-lint: relaxed(lane stop flag; Retire is the barrier)
             break;
           }
           ++ld.stats.pairs_examined;
@@ -1156,7 +1156,7 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
       std::atomic<int> next_lane{1};  // Lane 0 is the calling thread.
       int lane_cap = 1;
       bool RunMorsels(int /*worker*/) override {
-        const int lane = next_lane.fetch_add(1, std::memory_order_relaxed);
+        const int lane = next_lane.fetch_add(1, std::memory_order_relaxed);  // gpssn-lint: relaxed(lane claim counter; each lane runs once)
         if (lane >= lane_cap) return false;
         (*run)(lane);
         return true;
@@ -1170,7 +1170,7 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
     run_lane(0);
     options.scheduler->Retire(&source);
 
-    if (par_interrupted.load(std::memory_order_relaxed)) {
+    if (par_interrupted.load(std::memory_order_relaxed)) {  // gpssn-lint: relaxed(read after the Retire barrier)
       *interrupted = true;
       return {};
     }

@@ -25,7 +25,7 @@ DistanceCache::DistanceCache(const DistanceCacheOptions& options)
       std::max<size_t>(1, (max_entries_ + shards - 1) / shards);
   poi_gen_ = std::make_unique<std::atomic<uint32_t>[]>(kPoiGenBuckets);
   for (size_t i = 0; i < kPoiGenBuckets; ++i) {
-    poi_gen_[i].store(0, std::memory_order_relaxed);
+    poi_gen_[i].store(0, std::memory_order_relaxed);  // gpssn-lint: relaxed(construction; not yet shared)
   }
 }
 
@@ -33,7 +33,7 @@ bool DistanceCache::Lookup(UserId user, PoiId poi, double bound,
                            double* dist) {
   const uint64_t key = Key(user, poi);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     ++shard.misses;
@@ -66,7 +66,7 @@ void DistanceCache::Insert(UserId user, PoiId poi, double bound,
                            double dist) {
   const uint64_t key = Key(user, poi);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const uint32_t gen = PoiGen(poi).load(std::memory_order_acquire);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
@@ -116,7 +116,7 @@ void DistanceCache::InvalidatePoi(PoiId poi) {
 DistanceCache::Stats DistanceCache::GetStats() const {
   Stats stats;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     stats.hits += shard.hits;
     stats.misses += shard.misses;
     stats.insertions += shard.insertions;
@@ -131,7 +131,7 @@ void DistanceCache::Clear() {
   // Drops every entry but keeps the lifetime counters: a Clear() after an
   // index mutation should not erase the observability history.
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.map.clear();
     shard.lru.clear();
   }

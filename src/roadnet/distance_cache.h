@@ -31,12 +31,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/sync.h"
 #include "roadnet/shortest_path.h"
 #include "roadnet/types.h"
 
@@ -105,15 +105,17 @@ class DistanceCache {
     std::list<uint64_t>::iterator lru;
   };
 
+  // Everything in a shard — map, LRU list, and counters — is one unit
+  // under the stripe lock `mu`; there is no lock-free read path.
   struct alignas(64) Shard {
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, Entry> map;
-    std::list<uint64_t> lru;  // Front = most recent.
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t insertions = 0;
-    uint64_t evictions = 0;
-    uint64_t stale_drops = 0;
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, Entry> map GPSSN_GUARDED_BY(mu);
+    std::list<uint64_t> lru GPSSN_GUARDED_BY(mu);  // Front = most recent.
+    uint64_t hits GPSSN_GUARDED_BY(mu) = 0;
+    uint64_t misses GPSSN_GUARDED_BY(mu) = 0;
+    uint64_t insertions GPSSN_GUARDED_BY(mu) = 0;
+    uint64_t evictions GPSSN_GUARDED_BY(mu) = 0;
+    uint64_t stale_drops GPSSN_GUARDED_BY(mu) = 0;
   };
 
   static uint64_t Key(UserId user, PoiId poi) {

@@ -10,9 +10,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace gpssn {
 namespace {
@@ -83,7 +84,7 @@ TEST(TaskSchedulerTest, StealSpreadsWorkAcrossWorkers) {
   constexpr int kWorkers = 4;
   constexpr int kChildren = 200;
   TaskScheduler scheduler(kWorkers);
-  std::mutex mu;
+  Mutex mu;
   std::vector<int> per_worker(kWorkers, 0);
   std::atomic<int> done{0};
   scheduler.Submit([&](int) {
@@ -91,7 +92,7 @@ TEST(TaskSchedulerTest, StealSpreadsWorkAcrossWorkers) {
       scheduler.Spawn([&](int worker) {
         std::this_thread::sleep_for(std::chrono::microseconds(100));
         {
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(mu);
           ++per_worker[worker];
         }
         ++done;
@@ -109,23 +110,23 @@ TEST(TaskSchedulerTest, DeadlinePriorityOrdersInjector) {
   // Single worker, queue pre-loaded while it is blocked: release order must
   // be earliest-deadline-first, then unarmed tasks in FIFO order.
   TaskScheduler scheduler(1);
-  std::mutex gate;
-  gate.lock();
+  Mutex gate;
+  gate.Lock();
   std::atomic<bool> blocker_running{false};
   scheduler.Submit([&](int) {
     blocker_running.store(true);
-    gate.lock();  // Holds the worker until every Submit below landed.
-    gate.unlock();
+    gate.Lock();  // Holds the worker until every Submit below landed.
+    gate.Unlock();
   });
   // The blocker must have been POPPED (not just queued) before the batch
   // below lands, or it would compete with the armed tasks on priority.
   while (!blocker_running.load()) std::this_thread::yield();
 
-  std::mutex mu;
+  Mutex mu;
   std::vector<int> order;
   const auto now = std::chrono::steady_clock::now();
   auto record = [&mu, &order](int tag) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     order.push_back(tag);
   };
   using std::chrono::seconds;
@@ -137,7 +138,7 @@ TEST(TaskSchedulerTest, DeadlinePriorityOrdersInjector) {
                    TaskPriority::DeadlineAt(now + seconds(10)));
   scheduler.Submit([&, record](int) { record(3); },
                    TaskPriority::DeadlineAt(now + seconds(30)));
-  gate.unlock();
+  gate.Unlock();
   scheduler.WaitAll();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
 }

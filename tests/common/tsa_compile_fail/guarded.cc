@@ -1,0 +1,27 @@
+// Compile-pass half of the TSA smoke test (driven by run.cmake): identical
+// to unguarded.cc except the guarded read happens under a MutexLock, so
+// this TU must COMPILE under -Wthread-safety -Werror=thread-safety. It
+// pins the baseline: if this file fails, the failure of unguarded.cc
+// proves nothing (the toolchain would be rejecting the annotations
+// themselves, not the missing lock).
+
+#include <cstdint>
+
+#include "common/sync.h"
+#include "common/task_scheduler.h"
+
+namespace gpssn {
+
+class MiniInjector {
+ public:
+  uint64_t GuardedSize() {
+    MutexLock lock(mu_);
+    return next_seq_;  // OK: mu_ is held for the read.
+  }
+
+ private:
+  Mutex mu_;
+  uint64_t next_seq_ GPSSN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace gpssn

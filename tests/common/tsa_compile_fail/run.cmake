@@ -1,0 +1,38 @@
+# Driver for the TSA compile-fail smoke test (registered as
+# gpssn_common_tsa_compile_fail in tests/CMakeLists.txt, GPSSN_THREAD_SAFETY
+# builds only). Invoked as:
+#
+#   cmake -DCXX=<clang++> -DSRC_DIR=<repo>/src -DTEST_DIR=<this dir>
+#         -P run.cmake
+#
+# guarded.cc must compile (baseline: the annotations themselves are
+# accepted); unguarded.cc must be rejected WITH a thread-safety diagnostic
+# (proof the analysis runs and catches an unguarded access to guarded
+# state — not some unrelated compile error).
+
+set(flags -std=c++20 -fsyntax-only -I${SRC_DIR}
+    -Wthread-safety -Wthread-safety-beta
+    -Werror=thread-safety -Werror=thread-safety-beta)
+
+execute_process(COMMAND ${CXX} ${flags} ${TEST_DIR}/guarded.cc
+                RESULT_VARIABLE guarded_rc
+                ERROR_VARIABLE guarded_err)
+if(NOT guarded_rc EQUAL 0)
+  message(FATAL_ERROR
+          "guarded.cc must compile under TSA but failed:\n${guarded_err}")
+endif()
+
+execute_process(COMMAND ${CXX} ${flags} ${TEST_DIR}/unguarded.cc
+                RESULT_VARIABLE unguarded_rc
+                ERROR_VARIABLE unguarded_err)
+if(unguarded_rc EQUAL 0)
+  message(FATAL_ERROR
+          "unguarded.cc compiled cleanly: Thread-Safety Analysis did not "
+          "reject the unguarded access (are -Wthread-safety flags active?)")
+endif()
+if(NOT unguarded_err MATCHES "thread-safety|guarded_by|requires holding")
+  message(FATAL_ERROR
+          "unguarded.cc was rejected for the wrong reason:\n${unguarded_err}")
+endif()
+
+message(STATUS "TSA compile-fail smoke test passed")

@@ -1,0 +1,28 @@
+// Compile-fail half of the TSA smoke test (driven by run.cmake): this TU
+// must be REJECTED under -Wthread-safety -Werror=thread-safety. It mirrors
+// the TaskScheduler's injector protocol — queue state GUARDED_BY(mu_) — and
+// then reads that state without holding the capability. If this file ever
+// compiles under the tsa preset, the analysis is not actually running
+// (e.g. the flags were dropped) and the whole "proved at compile time"
+// claim is vacuous. The scheduler header is included so the real annotated
+// API is parsed under the analysis too.
+
+#include <cstdint>
+
+#include "common/sync.h"
+#include "common/task_scheduler.h"
+
+namespace gpssn {
+
+class MiniInjector {
+ public:
+  uint64_t UnguardedSize() {
+    return next_seq_;  // BAD: mu_ is not held; TSA must reject this read.
+  }
+
+ private:
+  Mutex mu_;
+  uint64_t next_seq_ GPSSN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace gpssn

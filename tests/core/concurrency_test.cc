@@ -1,7 +1,11 @@
-// Thread-compatibility test: the built indexes are immutable shared state;
-// each thread owns its own GpssnProcessor (the documented threading model).
-// Concurrent query results must equal serial ones.
+// Thread-compatibility tests: the built indexes are immutable shared state;
+// each thread owns its own GpssnProcessor (the documented threading model),
+// and concurrent query results must equal serial ones. Dynamic-maintenance
+// mutators serialize on the database's maintenance mutex; the TSAN preset
+// runs this binary, so an unserialized mutation is a sanitizer failure
+// here, not just a flaky count.
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
@@ -70,6 +74,68 @@ TEST(ConcurrencyTest, PerThreadProcessorsAgreeWithSerialExecution) {
       }
     }
   }
+}
+
+TEST(ConcurrencyTest, ConcurrentMaintenanceCallsSerialize) {
+  // Regression: AddPoi / UpdateUserInterests mutated the network, the I_R
+  // patch, and the processor swap with NO lock at all, so two concurrent
+  // maintenance calls interleaved their stages freely (lost POIs, a
+  // processor rebuilt over a half-appended network). They now serialize on
+  // GpssnDatabase::maintenance_mu_; this hammer checks the end state is
+  // exactly the sum of the individual calls.
+  SyntheticSsnOptions data;
+  data.num_road_vertices = 200;
+  data.num_pois = 80;
+  data.num_users = 150;
+  data.num_topics = 12;
+  data.seed = 41;
+  GpssnDatabase db(MakeSynthetic(data));
+
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 8;
+  const int initial_pois = db.ssn().num_pois();
+  const int num_edges = db.ssn().road().num_edges();
+  const int num_users = db.ssn().num_users();
+  const std::vector<double> interests(
+      static_cast<size_t>(db.ssn().num_topics()), 0.5);
+
+  std::vector<std::vector<PoiId>> ids(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        const EdgePosition pos{
+            static_cast<EdgeId>((t * 37 + i * 11) % num_edges),
+            0.25 + 0.5 * (i % 2)};
+        auto id = db.AddPoi(pos, {static_cast<KeywordId>(i % 8)});
+        if (id.ok()) ids[t].push_back(*id);
+        // Interleave the other mutator so the two paths contend too.
+        (void)db.UpdateUserInterests((t * 53 + i * 17) % num_users,
+                                     interests);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Every add landed, with a unique id, and the counts add up exactly.
+  std::vector<PoiId> all;
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(ids[t].size(), static_cast<size_t>(kAddsPerThread))
+        << "thread " << t << " lost an AddPoi";
+    for (PoiId id : ids[t]) all.push_back(id);
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end())
+      << "two AddPoi calls returned the same id";
+  EXPECT_EQ(db.ssn().num_pois(), initial_pois + kThreads * kAddsPerThread);
+
+  // The database still answers queries after the mutation storm.
+  GpssnQuery q;
+  q.issuer = 7;
+  q.tau = 2;
+  auto answer = db.Query(q);
+  EXPECT_TRUE(answer.ok());
 }
 
 }  // namespace

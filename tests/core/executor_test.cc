@@ -291,7 +291,7 @@ TEST(BatchExecutorTest, CallbacksFireExactlyOncePerQuery) {
     executor.Submit(q, /*deadline_seconds=*/0.0,
                     [&fired](const BatchQueryResult& r) {
                       EXPECT_TRUE(r.status.ok());
-                      fired.fetch_add(1, std::memory_order_relaxed);
+                      fired.fetch_add(1, std::memory_order_relaxed);  // gpssn-lint: relaxed(test counter; read after Wait)
                     });
   }
   std::vector<BatchQueryResult> batch = executor.Wait();

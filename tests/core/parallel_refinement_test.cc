@@ -185,7 +185,7 @@ TEST(ParallelRefinementInterruptTest, CancelFromAnotherThreadMidQuery) {
     par.cancel = &cancel;
     std::thread canceller([&cancel, round] {
       std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
-      cancel.store(true, std::memory_order_relaxed);
+      cancel.store(true, std::memory_order_relaxed);  // gpssn-lint: relaxed(cooperative cancel flag)
     });
     auto got = db.Query(q, par);
     canceller.join();

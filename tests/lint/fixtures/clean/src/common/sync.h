@@ -1,0 +1,25 @@
+// Fixture: src/common/sync.* is the one legitimate home of the raw std
+// synchronization vocabulary (rule naked-mutex exempts it by path).
+
+#ifndef GPSSN_COMMON_SYNC_H_
+#define GPSSN_COMMON_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace gpssn {
+
+class Mutex {
+ private:
+  std::mutex mu_;
+};
+
+class CondVar {
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_COMMON_SYNC_H_

@@ -1,0 +1,54 @@
+// Fixture: conforming concurrency vocabulary — annotated wrappers instead
+// of raw std primitives, tagged relaxed atomics, nesting that follows the
+// declared lock order, and explicit allow() suppressions where a raw
+// primitive or an undeclared nesting is intentional.
+//
+// Declared acquisition order for this tree:
+// gpssn-lock-order: outer_mu_ -> inner_mu_
+
+#include <atomic>
+#include <mutex>  // gpssn-lint: allow(naked-mutex)
+
+namespace gpssn {
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex&) {}
+};
+
+Mutex outer_mu_;
+Mutex inner_mu_;
+Mutex side_mu_;
+
+// A raw primitive kept on purpose (e.g. an adapter) is suppressed per line.
+std::mutex raw_mu_;  // gpssn-lint: allow(naked-mutex)
+
+std::atomic<int> counter{0};
+
+void DeclaredNestingIsClean() {
+  MutexLock outer(outer_mu_);
+  MutexLock inner(inner_mu_);  // OK: declared outer_mu_ -> inner_mu_.
+}
+
+void SequentialReacquisitionIsClean() {
+  {
+    MutexLock first(outer_mu_);
+  }
+  {
+    MutexLock second(outer_mu_);  // OK: the first hold already ended.
+  }
+}
+
+void SuppressedNestingIsClean() {
+  MutexLock outer(side_mu_);
+  MutexLock inner(outer_mu_);  // gpssn-lint: allow(lock-order)
+}
+
+void RelaxedCases() {
+  // A comment saying std::mutex or memory_order_relaxed is not a finding.
+  counter.fetch_add(1, std::memory_order_relaxed);  // gpssn-lint: relaxed(monotone fixture counter)
+  counter.load(std::memory_order_relaxed);  // gpssn-lint: allow(relaxed-justification)
+}
+
+}  // namespace gpssn

@@ -1,0 +1,38 @@
+// Fixture: nested scoped-lock acquisitions against the declared order.
+// gpssn-lock-order: a_mu -> b_mu
+
+namespace gpssn {
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex&) {}
+};
+
+Mutex a_mu;
+Mutex b_mu;
+Mutex c_mu;
+
+void DeclaredOrderIsFine() {
+  MutexLock outer(a_mu);
+  MutexLock inner(b_mu);
+}
+
+void ReversedOrder() {
+  MutexLock outer(b_mu);
+  MutexLock inner(a_mu);
+}
+
+void Reacquisition() {
+  MutexLock outer(a_mu);
+  {
+    MutexLock again(a_mu);
+  }
+}
+
+void UndeclaredPair() {
+  MutexLock outer(a_mu);
+  MutexLock inner(c_mu);
+}
+
+}  // namespace gpssn

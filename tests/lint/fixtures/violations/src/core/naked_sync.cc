@@ -1,0 +1,16 @@
+// Fixture: naked std synchronization primitives outside src/common/sync.*.
+
+#include <mutex>
+#include <condition_variable>
+
+namespace gpssn {
+
+std::mutex plain_mu;
+std::condition_variable plain_cv;
+
+void Offenders() {
+  std::lock_guard<std::mutex> lock(plain_mu);
+  std::unique_lock<std::mutex> waiter(plain_mu);
+}
+
+}  // namespace gpssn

@@ -1,0 +1,16 @@
+// Fixture: memory_order_relaxed without a same-line justification tag.
+
+#include <atomic>
+
+namespace gpssn {
+
+std::atomic<int> counter{0};
+
+void Offenders() {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  // gpssn-lint: relaxed(a tag on the PRECEDING line does not count)
+  counter.store(0, std::memory_order_relaxed);
+  counter.load(std::memory_order_relaxed);  // gpssn-lint: relaxed()
+}
+
+}  // namespace gpssn
