@@ -1,8 +1,12 @@
 // Reproduces Figure 11: GP-SSN performance vs the road-network size
 // |V(G_r)|. Paper: nearly flat (0.014-0.02 s, 200-270 I/Os) thanks to the
-// offline pivot tables.
+// offline pivot tables. GPSSN_BENCH_FIG11_LARGE=1 extends the sweep past
+// the paper's 5x10^4 to continental sizes (2x10^5 and 10^6 vertices,
+// unscaled) — minutes of build time per point, so opt-in.
 
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
@@ -12,16 +16,28 @@ namespace {
 
 void Run() {
   const BenchConfig config = GetConfig();
+  const char* large_env = std::getenv("GPSSN_BENCH_FIG11_LARGE");
+  const bool large = large_env != nullptr && large_env[0] == '1';
   std::printf("=== Fig. 11: effect of the road-network size |V(Gr)| "
-              "(scale %.2f, %d queries/point) ===\n",
-              config.scale, config.queries);
+              "(scale %.2f, %d queries/point%s) ===\n",
+              config.scale, config.queries,
+              large ? ", +continental sizes" : "");
   TablePrinter table({"dataset", "|V(Gr)| (scaled)", "CPU (s)", "I/Os",
                       "found"});
   for (const char* name : {"UNI", "ZIPF"}) {
+    std::vector<int> sizes;
     for (int paper_v : {10000, 20000, 30000, 40000, 50000}) {
+      sizes.push_back(std::max(256, static_cast<int>(paper_v * config.scale)));
+    }
+    if (large) {
+      // Past the paper's range: these are absolute sizes (the point is the
+      // 10^6-vertex scale itself, not the paper's sweep).
+      sizes.push_back(200000);
+      sizes.push_back(1000000);
+    }
+    for (int num_vertices : sizes) {
       DatasetOverrides overrides;
-      overrides.num_road_vertices =
-          std::max(256, static_cast<int>(paper_v * config.scale));
+      overrides.num_road_vertices = num_vertices;
       auto db = BuildDatabase(MakeDataset(name, config.scale, overrides));
       const Aggregate agg = RunWorkload(db.get(), DefaultQuery(),
                                         config.queries, QueryOptions{}, 30);

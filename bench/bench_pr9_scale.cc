@@ -1,0 +1,258 @@
+// Continental-scale distance-engine benchmark (PR 9): on a jittered
+// synthetic grid it measures
+//
+//   1. CH construction, serial vs morselized (TaskScheduler) — the builds
+//      must be bitwise identical, and the parallel one must not cost more
+//      than scheduler overhead on a single core;
+//   2. ball queries, bounded Dijkstra vs the CH range engine — answers
+//      must be identical, and the range engine is the whole point: at
+//      10^6 vertices it must be >= 5x faster (scripts/bench_smoke.sh
+//      enforces a scale-aware threshold);
+//   3. index persistence — SaveRoadIndex once, then mmap cold-start
+//      (LoadRoadIndex) vs rebuilding the hierarchy from scratch.
+//
+// Environment:
+//   GPSSN_BENCH_PR9_SIDE   grid side (default 1000 -> 10^6 vertices;
+//                          scripts/bench_smoke.sh passes a smoke size)
+//   GPSSN_BENCH_PR9_JSON   write a machine-readable report here
+//   GPSSN_BENCH_PR9_INDEX  index file path (default: a file in the cwd,
+//                          removed on exit)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/task_scheduler.h"
+#include "roadnet/ch_range.h"
+#include "roadnet/contraction_hierarchy.h"
+#include "roadnet/index_io.h"
+#include "roadnet/road_graph.h"
+#include "roadnet/shortest_path.h"
+
+namespace gpssn::bench {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+// Unit-spacing grid with jittered vertices: Euclidean weights are all
+// distinct, so shortest paths are unique and both ball engines must
+// return bit-identical answers.
+RoadNetwork JitteredGrid(int side, uint64_t seed) {
+  Rng rng(seed);
+  RoadNetworkBuilder b;
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      b.AddVertex(Point{x + 0.4 * (rng.UniformDouble() - 0.5),
+                        y + 0.4 * (rng.UniformDouble() - 0.5)});
+    }
+  }
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      const VertexId v = y * side + x;
+      if (x + 1 < side) GPSSN_CHECK(b.AddEdge(v, v + 1).ok());
+      if (y + 1 < side) GPSSN_CHECK(b.AddEdge(v, v + side).ok());
+    }
+  }
+  return b.Build();
+}
+
+std::vector<Poi> ScatterPois(const RoadNetwork& g, int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Poi> pois(n);
+  for (int i = 0; i < n; ++i) {
+    pois[i].id = i;
+    pois[i].position =
+        EdgePosition{static_cast<EdgeId>(rng.NextBounded(g.num_edges())),
+                     rng.UniformDouble()};
+    pois[i].location = g.PositionPoint(pois[i].position);
+  }
+  return pois;
+}
+
+bool BitIdentical(const ContractionHierarchy& a,
+                  const ContractionHierarchy& b) {
+  if (a.num_shortcuts() != b.num_shortcuts()) return false;
+  if (a.ranks().size() != b.ranks().size()) return false;
+  for (size_t i = 0; i < a.ranks().size(); ++i) {
+    if (a.ranks()[i] != b.ranks()[i]) return false;
+  }
+  if (a.up_arcs().size() != b.up_arcs().size()) return false;
+  for (size_t i = 0; i < a.up_arcs().size(); ++i) {
+    if (a.up_arcs()[i].to != b.up_arcs()[i].to ||
+        a.up_arcs()[i].middle != b.up_arcs()[i].middle ||
+        a.up_arcs()[i].weight != b.up_arcs()[i].weight) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Run() {
+  const int side = EnvInt("GPSSN_BENCH_PR9_SIDE", 1000);
+  const int workers = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  std::printf("=== PR 9: continental-scale distance engine "
+              "(grid %dx%d = %d vertices, %d workers) ===\n",
+              side, side, side * side, workers);
+
+  const RoadNetwork g = JitteredGrid(side, 1);
+  const std::vector<Poi> pois = ScatterPois(g, side * 4, 2);
+
+  ChOptions options;
+  // Default witness limits: weakening them (e.g. 5/24) looks cheaper per
+  // search but misses witnesses, and the surviving shortcuts densify the
+  // remaining graph — measured 3x slower AND 3x more shortcuts on a
+  // 90k-vertex grid. Strong witnesses are the scale knob.
+  options.build_ball_index = false;  // Built separately below (timed).
+
+  // --- 1. CH construction: serial vs morselized ------------------------
+  double t0 = Now();
+  ContractionHierarchy serial(options);
+  serial.Build(&g);
+  const double build_serial_s = Now() - t0;
+  std::printf("CH build (serial):    %7.2f s  (%lld shortcuts, %d rounds)\n",
+              build_serial_s, static_cast<long long>(serial.num_shortcuts()),
+              serial.build_rounds());
+
+  TaskScheduler scheduler(workers);
+  ChOptions par_options = options;
+  par_options.scheduler = &scheduler;
+  t0 = Now();
+  ContractionHierarchy parallel(par_options);
+  parallel.Build(&g);
+  const double build_parallel_s = Now() - t0;
+  const bool build_identical = BitIdentical(serial, parallel);
+  std::printf("CH build (%d lanes):  %7.2f s  (identical: %s)\n",
+              workers + 1, build_parallel_s, build_identical ? "yes" : "NO");
+
+  // --- 2. Ball queries: bounded Dijkstra vs CH range engine ------------
+  // Fixed city-scale radii (grid spacing is ~1): a query ball covers a
+  // metro-sized patch regardless of how large the whole network is. This
+  // is the continental regime — as the graph grows, the ball holds the
+  // same number of vertices but an ever smaller share of the POI sources,
+  // so bounded Dijkstra keeps paying for the full patch while the range
+  // engine only pays for the few sources actually inside. That widening
+  // gap is where the 10^6-vertex speedup gate comes from.
+  const double max_radius = 30.0;
+  t0 = Now();
+  const ChBallIndex index(&serial, &pois, max_radius, &scheduler, 0);
+  const double index_build_s = Now() - t0;
+  std::printf("ball index:           %7.2f s  (%zu sources)\n",
+              index_build_s, index.num_sources());
+
+  DijkstraEngine dijkstra(&g);
+  PoiLocator locator(&g, &pois);
+  ChRangeEngine range(&index);
+  const double radii[] = {5.0, 15.0, max_radius};
+  std::vector<EdgePosition> centers;
+  Rng rng(3);
+  for (int c = 0; c < 8; ++c) {
+    centers.push_back(
+        EdgePosition{static_cast<EdgeId>(rng.NextBounded(g.num_edges())),
+                     rng.UniformDouble()});
+  }
+  bool balls_identical = true;
+  int ball_trials = 0;
+  double ball_dijkstra_s = 0.0;
+  double ball_ch_s = 0.0;
+  for (const double radius : radii) {
+    for (const EdgePosition& center : centers) {
+      t0 = Now();
+      const auto expected = locator.BallWithDistances(center, radius,
+                                                      &dijkstra);
+      ball_dijkstra_s += Now() - t0;
+      t0 = Now();
+      const auto actual = range.BallWithDistances(center, radius, locator,
+                                                  pois);
+      ball_ch_s += Now() - t0;
+      balls_identical = balls_identical && expected == actual;
+      ++ball_trials;
+    }
+  }
+  const double ball_speedup =
+      ball_ch_s > 0.0 ? ball_dijkstra_s / ball_ch_s : 0.0;
+  std::printf("balls (%d trials):    Dijkstra %7.3f s, CH %7.3f s "
+              "-> %.1fx (identical: %s)\n",
+              ball_trials, ball_dijkstra_s, ball_ch_s, ball_speedup,
+              balls_identical ? "yes" : "NO");
+
+  // --- 3. Persistence: save once, mmap cold-start vs rebuild -----------
+  const char* index_env = std::getenv("GPSSN_BENCH_PR9_INDEX");
+  const std::string path =
+      index_env != nullptr ? index_env : "bench_pr9.gpssnidx";
+  t0 = Now();
+  const Status saved = SaveRoadIndex(g, serial, path);
+  const double save_s = Now() - t0;
+  GPSSN_CHECK(saved.ok());
+  t0 = Now();
+  auto loaded = LoadRoadIndex(path);
+  const double load_s = Now() - t0;
+  GPSSN_CHECK(loaded.ok());
+  GPSSN_CHECK(BitIdentical(serial, *loaded.value().ch));
+  // The alternative to loading is building again: time one more build.
+  t0 = Now();
+  ContractionHierarchy rebuilt(options);
+  rebuilt.Build(&g);
+  const double rebuild_s = Now() - t0;
+  std::printf("persistence:          save %.3f s, mmap load %.3f s, "
+              "rebuild %.2f s (load %.0fx faster)\n",
+              save_s, load_s, rebuild_s,
+              load_s > 0.0 ? rebuild_s / load_s : 0.0);
+  std::remove(path.c_str());
+
+  if (const char* out = std::getenv("GPSSN_BENCH_PR9_JSON")) {
+    std::FILE* f = std::fopen(out, "w");
+    GPSSN_CHECK(f != nullptr);
+    std::fprintf(f,
+                 "{\n"
+                 "  \"grid_side\": %d,\n"
+                 "  \"num_vertices\": %d,\n"
+                 "  \"num_pois\": %zu,\n"
+                 "  \"workers\": %d,\n"
+                 "  \"build_serial_seconds\": %.6f,\n"
+                 "  \"build_parallel_seconds\": %.6f,\n"
+                 "  \"build_identical\": %s,\n"
+                 "  \"ball_index_seconds\": %.6f,\n"
+                 "  \"ball_trials\": %d,\n"
+                 "  \"ball_max_radius\": %.1f,\n"
+                 "  \"ball_dijkstra_seconds\": %.6f,\n"
+                 "  \"ball_ch_seconds\": %.6f,\n"
+                 "  \"ball_speedup\": %.3f,\n"
+                 "  \"balls_identical\": %s,\n"
+                 "  \"save_seconds\": %.6f,\n"
+                 "  \"load_seconds\": %.6f,\n"
+                 "  \"rebuild_seconds\": %.6f\n"
+                 "}\n",
+                 side, side * side, pois.size(), workers, build_serial_s,
+                 build_parallel_s, build_identical ? "true" : "false",
+                 index_build_s, ball_trials, max_radius, ball_dijkstra_s,
+                 ball_ch_s, ball_speedup, balls_identical ? "true" : "false",
+                 save_s, load_s, rebuild_s);
+    std::fclose(f);
+    std::printf("wrote %s\n", out);
+  }
+  GPSSN_CHECK(build_identical && balls_identical);
+}
+
+}  // namespace
+}  // namespace gpssn::bench
+
+int main() {
+  gpssn::bench::Run();
+  return 0;
+}

@@ -13,10 +13,15 @@
 #           annotations of src/common/sync.h) + the TSA compile-fail test
 #   analyzer  Clang Static Analyzer (clang-tidy clang-analyzer-* +
 #           concurrency-* as errors) over the compile database
+#   large   continental-scale tests (ctest label `large`, e.g. the 10^5+
+#           vertex CH range-engine / index-file validation): builds tier-1
+#           and runs `ctest -L large` with GPSSN_LARGE_TESTS=1. NOT part
+#           of the default mode — run explicitly or let the dedicated CI
+#           job do it.
 #
 # Usage: scripts/check.sh
 #          [--tier1-only|--tsan-only|--ubsan-only|--lint-only|--audit-only|
-#           --tsa-only|--analyzer-only]
+#           --tsa-only|--analyzer-only|--large-only]
 #
 # `--lint-only` is the static-analysis gate: lint.py, clang-tidy (when
 # available), and a UBSan test pass. The default (no flag) runs everything.
@@ -27,12 +32,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
-TSAN_TESTS='gpssn_common_task_scheduler_test|gpssn_core_parallel_refinement_test|gpssn_core_concurrency_test|gpssn_core_executor_test|gpssn_core_scheduler_stress_test|gpssn_ssn_serialize_fuzz_test|gpssn_roadnet_distance_cache_test'
+TSAN_TESTS='gpssn_common_task_scheduler_test|gpssn_core_parallel_refinement_test|gpssn_core_concurrency_test|gpssn_core_executor_test|gpssn_core_scheduler_stress_test|gpssn_ssn_serialize_fuzz_test|gpssn_roadnet_distance_cache_test|gpssn_roadnet_ch_parallel_build_test'
 MODE="${1:-all}"
 case "$MODE" in
-  all|--tier1-only|--tsan-only|--ubsan-only|--lint-only|--audit-only|--tsa-only|--analyzer-only) ;;
+  all|--tier1-only|--tsan-only|--ubsan-only|--lint-only|--audit-only|--tsa-only|--analyzer-only|--large-only) ;;
   *)
-    echo "usage: scripts/check.sh [--tier1-only|--tsan-only|--ubsan-only|--lint-only|--audit-only|--tsa-only|--analyzer-only]" >&2
+    echo "usage: scripts/check.sh [--tier1-only|--tsan-only|--ubsan-only|--lint-only|--audit-only|--tsa-only|--analyzer-only|--large-only]" >&2
     exit 2
     ;;
 esac
@@ -52,7 +57,8 @@ run_tsan() {
     gpssn_common_task_scheduler_test gpssn_core_parallel_refinement_test \
     gpssn_core_concurrency_test gpssn_core_executor_test \
     gpssn_core_scheduler_stress_test \
-    gpssn_ssn_serialize_fuzz_test gpssn_roadnet_distance_cache_test
+    gpssn_ssn_serialize_fuzz_test gpssn_roadnet_distance_cache_test \
+    gpssn_roadnet_ch_parallel_build_test
   (cd build-tsan && ctest --output-on-failure -R "$TSAN_TESTS")
 }
 
@@ -107,6 +113,16 @@ run_analyzer() {
     --warnings-as-errors='*' "${tidy_files[@]}"
 }
 
+run_large() {
+  echo "=== large: continental-scale tests (ctest -L large) ==="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  # GPSSN_LARGE_TESTS=1 arms the tests (they GTEST_SKIP without it);
+  # GPSSN_LARGE_TESTS_SIDE scales the grid (default 400 -> 160k vertices,
+  # 1000 -> 10^6) so CI can trade coverage against wall time.
+  (cd build && GPSSN_LARGE_TESTS=1 ctest --output-on-failure -L large)
+}
+
 run_audit() {
   echo "=== audit: GPSSN_AUDIT build + full test suite ==="
   cmake -B build-audit -S . -DGPSSN_AUDIT=ON
@@ -132,6 +148,7 @@ case "$MODE" in
     run_ubsan
     ;;
   --audit-only) run_audit ;;
+  --large-only) run_large ;;
   --tsa-only) run_tsa ;;
   --analyzer-only) run_analyzer ;;
 esac

@@ -10,12 +10,16 @@
 #ifndef GPSSN_COMMON_PAGESTORE_H_
 #define GPSSN_COMMON_PAGESTORE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <list>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
 
 namespace gpssn {
 
@@ -86,6 +90,36 @@ class BufferPool {
   IoStats stats_;
   std::list<PageId> lru_;  // Front = most recently used.
   std::unordered_map<PageId, std::list<PageId>::iterator> table_;
+};
+
+/// Read-only memory mapping of a whole file — the real-disk counterpart of
+/// the simulated page store above. Index loaders (roadnet/index_io) map a
+/// preprocessed index file and hand out zero-copy spans into it, so a
+/// multi-million-vertex network cold-starts without materializing the
+/// hierarchy in anonymous memory and can stay partially out-of-core (pages
+/// fault in on first touch). Move-only RAII; the mapping lives until
+/// destruction.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. Fails with IoError for missing, unreadable, or
+  /// empty files.
+  static Result<MappedFile> Open(const std::string& path);
+
+  bool valid() const { return addr_ != nullptr; }
+  const uint8_t* data() const { return static_cast<const uint8_t*>(addr_); }
+  size_t size() const { return size_; }
+
+ private:
+  void* addr_ = nullptr;
+  size_t size_ = 0;
 };
 
 }  // namespace gpssn

@@ -42,7 +42,8 @@ GpssnDatabase::GpssnDatabase(SpatialSocialNetwork ssn,
                                                 &road_pivots_, social_options);
 
   if (options.distance_backend == DistanceBackendKind::kContractionHierarchy) {
-    backend_ = MakeChBackend(&ssn_.road(), &ssn_.pois(), options.ch);
+    backend_ = MakeChBackend(&ssn_.road(), &ssn_.pois(), options.ch,
+                             options.ch_index_path);
   }
   if (options.distance_cache_entries > 0) {
     DistanceCacheOptions cache_options;
@@ -76,7 +77,8 @@ GpssnDatabase::GpssnDatabase(SpatialSocialNetwork ssn,
                                                 &road_pivots_, social_options);
 
   if (options.distance_backend == DistanceBackendKind::kContractionHierarchy) {
-    backend_ = MakeChBackend(&ssn_.road(), &ssn_.pois(), options.ch);
+    backend_ = MakeChBackend(&ssn_.road(), &ssn_.pois(), options.ch,
+                             options.ch_index_path);
   }
   if (options.distance_cache_entries > 0) {
     DistanceCacheOptions cache_options;
@@ -140,6 +142,10 @@ Result<PoiId> GpssnDatabase::AddPoi(const EdgePosition& position,
   GPSSN_ASSIGN_OR_RETURN(const PoiId id,
                          ssn_.AddPoi(position, std::move(keywords)));
   GPSSN_RETURN_NOT_OK(poi_index_->InsertPoi(id));
+  // Fold the new POI into the backend (the CH backend's ball index grows
+  // delta buckets) and bump its generation so every cached engine —
+  // processor-plugged or batch-lane — is recreated before its next use.
+  if (backend_ != nullptr) backend_->NotifyPoisMutated();
   // The processor caches a POI locator; rebuild it over the grown set.
   processor_ =
       std::make_unique<GpssnProcessor>(poi_index_.get(), social_index_.get());

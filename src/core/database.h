@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/sync.h"
@@ -43,6 +44,12 @@ struct GpssnBuildOptions {
   DistanceBackendKind distance_backend = DistanceBackendKind::kDijkstra;
   /// CH construction knobs (used only for kContractionHierarchy).
   ChOptions ch;
+  /// Persistence path for the graph + CH index (kContractionHierarchy
+  /// only; empty = always build in-process). When set, construction mmaps
+  /// a previously saved index from this file if its checksums validate
+  /// and it matches the road network, and otherwise builds and saves one
+  /// (see roadnet/index_io.h).
+  std::string ch_index_path;
   /// Capacity of the shared cross-query (user, poi) → distance cache
   /// (roadnet/distance_cache.h); 0 disables it. The cache is shared by
   /// every query and batch worker of this database and is invalidated

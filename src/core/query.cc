@@ -28,6 +28,7 @@ namespace gpssn {
 // it. Reused across queries; declared in query.h.
 struct IntraLane {
   const DistanceBackend* source = nullptr;  // Backend `engine` came from.
+  uint64_t source_generation = 0;  // Backend POI generation at creation.
   std::unique_ptr<DistanceEngine> engine;   // Null for lane 0.
   uint32_t generation = 0;
   std::vector<uint32_t> user_stamp;
@@ -110,9 +111,12 @@ GpssnProcessor::~GpssnProcessor() = default;
 
 DistanceEngine* GpssnProcessor::EngineFor(const QueryOptions& options) {
   if (options.distance_backend == nullptr) return default_engine_.get();
-  if (plugged_source_ != options.distance_backend) {
+  const uint64_t generation = options.distance_backend->poi_generation();
+  if (plugged_source_ != options.distance_backend ||
+      plugged_generation_ != generation) {
     plugged_engine_ = options.distance_backend->CreateEngine();
     plugged_source_ = options.distance_backend;
+    plugged_generation_ = generation;
   }
   return plugged_engine_.get();
 }
@@ -632,6 +636,10 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
     if (it != center_cache.end()) return it->second;
     const ScopedPhaseTimer ball_phase(&stats->ball_seconds);
     CenterInfo info;
+    ++stats->ball_queries;
+    if (dist_engine.BallUsesRangeEngine(query.radius)) {
+      ++stats->ball_range_engine_queries;
+    }
     info.ball_dists =
         dist_engine.BallWithDistances(ssn.poi(c).position, query.radius);
     for (const auto& [id, dist] : info.ball_dists) {
@@ -927,9 +935,12 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
     for (int lane = 0; lane < max_lanes; ++lane) {
       IntraLane& ln = *intra_lanes_[lane];
       if (lane > 0) {
-        if (ln.source != lane_backend || ln.engine == nullptr) {
+        const uint64_t backend_generation = lane_backend->poi_generation();
+        if (ln.source != lane_backend || ln.engine == nullptr ||
+            ln.source_generation != backend_generation) {
           ln.engine = lane_backend->CreateEngine();
           ln.source = lane_backend;
+          ln.source_generation = backend_generation;
         }
         lane_engine[lane] = ln.engine.get();
         lane_pools[lane] =

@@ -125,8 +125,12 @@ class GpssnProcessor {
   // (bit-exact with the seed query path).
   std::unique_ptr<DistanceBackend> default_backend_;
   std::unique_ptr<DistanceEngine> default_engine_;
-  // Engine created from the last non-null options.distance_backend.
+  // Engine created from the last non-null options.distance_backend, plus
+  // the backend POI generation it was created under — the engine is
+  // recreated when the backend reports a POI mutation, so cached arenas
+  // (e.g. the CH ball index's locator) never serve a stale POI set.
   const DistanceBackend* plugged_source_ = nullptr;
+  uint64_t plugged_generation_ = 0;
   std::unique_ptr<DistanceEngine> plugged_engine_;
   RefineScratch scratch_;
   // Per-query SoA social scratch (candidate interest matrix, adjacency

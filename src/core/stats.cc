@@ -40,6 +40,8 @@ void QueryStats::MergeFrom(const QueryStats& other) {
   refine_morsels += other.refine_morsels;
   refine_morsels_stolen += other.refine_morsels_stolen;
   interest_pairs_scored += other.interest_pairs_scored;
+  ball_queries += other.ball_queries;
+  ball_range_engine_queries += other.ball_range_engine_queries;
 }
 
 std::string QueryStats::ToString() const {
@@ -54,7 +56,8 @@ std::string QueryStats::ToString() const {
       "pois seen=%llu pruned(match=%llu, distance=%llu) candidates=%llu "
       "index-pruned-pois=%llu\n"
       "refine: groups=%llu pairs=%llu exact-dist=%llu truncated=%d "
-      "lanes=%u morsels=%llu (stolen=%llu) interest-pairs=%llu\n"
+      "lanes=%u morsels=%llu (stolen=%llu) interest-pairs=%llu "
+      "balls=%llu (range-engine=%llu)\n"
       "phases: descent=%.6fs ball=%.6fs refine=%.6fs exact-dist=%.6fs; "
       "dist-cache rows hit=%llu miss=%llu",
       cpu_seconds, static_cast<unsigned long long>(io.page_misses),
@@ -83,6 +86,8 @@ std::string QueryStats::ToString() const {
       static_cast<unsigned long long>(refine_morsels),
       static_cast<unsigned long long>(refine_morsels_stolen),
       static_cast<unsigned long long>(interest_pairs_scored),
+      static_cast<unsigned long long>(ball_queries),
+      static_cast<unsigned long long>(ball_range_engine_queries),
       descent_seconds, ball_seconds, refine_seconds,
       exact_dist_seconds, static_cast<unsigned long long>(dist_cache_row_hits),
       static_cast<unsigned long long>(dist_cache_row_misses));

@@ -76,6 +76,12 @@ struct QueryStats {
   // Bounded by n(n-1)/2 per query — each pair is scored at most once.
   uint64_t interest_pairs_scored = 0;
 
+  // --- Ball materialization backend (roadnet/ch_range.h): total B(o, r)
+  // evaluations and the subset answered by the CH range index instead of
+  // bounded Dijkstra (0 on the Dijkstra backend). MergeFrom sums.
+  uint64_t ball_queries = 0;
+  uint64_t ball_range_engine_queries = 0;
+
   /// Page misses (the paper's "number of page accesses through a buffer").
   uint64_t PageAccesses() const { return io.page_misses; }
 

@@ -1,0 +1,384 @@
+#include "roadnet/ch_range.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "common/macros.h"
+#include "common/parallel_for.h"
+#include "common/task_scheduler.h"
+
+namespace gpssn {
+
+ChUpwardSearch::ChUpwardSearch(const ContractionHierarchy* ch) : ch_(ch) {
+  GPSSN_CHECK(ch != nullptr && ch->built());
+  const int n = ch->graph().num_vertices();
+  dist_.assign(n, kInfDistance);
+  stamp_.assign(n, 0);
+  parent_.assign(n, -1);
+  arc_.assign(n, -1);
+}
+
+const std::vector<ChUpwardSearch::Settle>& ChUpwardSearch::Run(
+    std::span<const std::pair<VertexId, double>> seeds, double bound) {
+  settles_.clear();
+  ++generation_;
+  if (generation_ == 0) {  // Stamp wrap-around: hard reset.
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    generation_ = 1;
+  }
+  heap_.clear();
+  auto greater = [](const std::pair<double, VertexId>& a,
+                    const std::pair<double, VertexId>& b) {
+    return a.first > b.first;
+  };
+  auto relax = [&](VertexId v, double d, int32_t parent_settle, int32_t arc) {
+    if (d > bound) return;
+    if (stamp_[v] == generation_ && dist_[v] <= d) return;
+    dist_[v] = d;
+    stamp_[v] = generation_;
+    parent_[v] = parent_settle;
+    arc_[v] = arc;
+    heap_.emplace_back(d, v);
+    std::push_heap(heap_.begin(), heap_.end(), greater);
+  };
+  for (const auto& [v, d] : seeds) relax(v, d, -1, -1);
+  const std::span<const int64_t> offs = ch_->up_offsets();
+  const std::span<const ContractionHierarchy::UpArc> arcs = ch_->up_arcs();
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), greater);
+    const auto [d, v] = heap_.back();
+    heap_.pop_back();
+    if (stamp_[v] != generation_ || d > dist_[v]) continue;  // Stale.
+    const int32_t settle_idx = static_cast<int32_t>(settles_.size());
+    settles_.push_back(Settle{v, parent_[v], arc_[v], d});
+    for (int64_t ai = offs[v]; ai < offs[v + 1]; ++ai) {
+      relax(arcs[ai].to, d + arcs[ai].weight, settle_idx,
+            static_cast<int32_t>(ai));
+    }
+  }
+  return settles_;
+}
+
+ChBallIndex::ChBallIndex(const ContractionHierarchy* ch,
+                         const std::vector<Poi>* pois, double max_radius,
+                         TaskScheduler* scheduler, int max_lanes)
+    : ch_(ch), pois_(pois), max_radius_(max_radius) {
+  GPSSN_CHECK(ch != nullptr && ch->built() && pois != nullptr);
+  GPSSN_CHECK(ch->up_arcs().size() <=
+              static_cast<size_t>(std::numeric_limits<int32_t>::max()));
+  const int n = ch->graph().num_vertices();
+  vertex_to_source_.assign(n, -1);
+  bucket_offsets_.assign(n + 1, 0);
+  RegisterPois(0);
+  IndexSources(0, /*into_delta=*/false, scheduler, max_lanes);
+}
+
+size_t ChBallIndex::RegisterPois(size_t from) {
+  const size_t first_new_source = sources_.size();
+  const RoadNetwork& g = ch_->graph();
+  std::vector<EdgeId> new_edges;
+  for (size_t i = from; i < pois_->size(); ++i) {
+    const EdgeId e = (*pois_)[i].position.edge;
+    if (!std::binary_search(poi_edges_.begin(), poi_edges_.end(), e)) {
+      new_edges.push_back(e);
+    }
+  }
+  std::sort(new_edges.begin(), new_edges.end());
+  new_edges.erase(std::unique(new_edges.begin(), new_edges.end()),
+                  new_edges.end());
+  if (!new_edges.empty()) {
+    const size_t mid = poi_edges_.size();
+    poi_edges_.insert(poi_edges_.end(), new_edges.begin(), new_edges.end());
+    std::inplace_merge(poi_edges_.begin(), poi_edges_.begin() + mid,
+                       poi_edges_.end());
+    for (const EdgeId e : new_edges) {
+      for (const VertexId x : {g.edge_u(e), g.edge_v(e)}) {
+        if (vertex_to_source_[x] < 0) {
+          vertex_to_source_[x] = static_cast<int32_t>(sources_.size());
+          sources_.push_back(x);
+        }
+      }
+    }
+  }
+  indexed_pois_ = pois_->size();
+  return first_new_source;
+}
+
+void ChBallIndex::IndexSources(size_t first_source, bool into_delta,
+                               TaskScheduler* scheduler, int max_lanes) {
+  const size_t count = sources_.size() - first_source;
+  if (count == 0) return;
+  const double bound = max_radius_ == kInfDistance
+                           ? kInfDistance
+                           : ChRangeSlackRadius(max_radius_);
+  // Phase 1 (parallel): the backward upward searches are independent;
+  // each writes only its own slot of `local`.
+  std::vector<std::vector<ChUpwardSearch::Settle>> local(count);
+  const int lanes = PreprocessLaneCap(scheduler, max_lanes);
+  std::vector<std::unique_ptr<ChUpwardSearch>> searches(lanes);
+  for (int lane = 0; lane < lanes; ++lane) {
+    searches[lane] = std::make_unique<ChUpwardSearch>(ch_);
+  }
+  ParallelFor loop(scheduler, lanes, count, 8,
+                   [&](int lane, size_t b, size_t e) {
+                     for (size_t i = b; i < e; ++i) {
+                       const std::pair<VertexId, double> seed{
+                           sources_[first_source + i], 0.0};
+                       local[i] = searches[lane]->Run(
+                           std::span<const std::pair<VertexId, double>>(
+                               &seed, 1),
+                           bound);
+                     }
+                   });
+  loop.Run();
+
+  // Phase 2 (serial, deterministic): concatenate settle logs and group
+  // bucket entries by vertex, distance-ascending within each vertex.
+  const int n = ch_->graph().num_vertices();
+  size_t total = 0;
+  for (const auto& settles : local) total += settles.size();
+  GPSSN_CHECK(log_.size() + total <=
+              static_cast<size_t>(std::numeric_limits<int32_t>::max()));
+  if (!into_delta) {
+    std::vector<int64_t> counts(n, 0);
+    for (const auto& settles : local) {
+      for (const auto& s : settles) ++counts[s.vertex];
+    }
+    bucket_offsets_[0] = 0;
+    for (int v = 0; v < n; ++v) {
+      bucket_offsets_[v + 1] = bucket_offsets_[v] + counts[v];
+    }
+    bucket_entries_.resize(total);
+    std::vector<int64_t> cursor(bucket_offsets_.begin(),
+                                bucket_offsets_.end() - 1);
+    for (size_t i = 0; i < count; ++i) {
+      const int32_t src = static_cast<int32_t>(first_source + i);
+      const int32_t base = static_cast<int32_t>(log_.size());
+      for (size_t k = 0; k < local[i].size(); ++k) {
+        const ChUpwardSearch::Settle& s = local[i][k];
+        log_.push_back(
+            LogEntry{s.vertex, s.parent < 0 ? -1 : base + s.parent, s.arc});
+        bucket_entries_[cursor[s.vertex]++] =
+            Entry{src, base + static_cast<int32_t>(k), s.dist};
+      }
+    }
+    // Distance-ascending buckets let queries stop scanning a bucket the
+    // moment an entry can no longer fit the radius — hub vertices carry
+    // entries from almost every source, and without the early exit the
+    // bucket scan, not the upward search, dominates query time. Each
+    // source settles a vertex at most once, so (dist, source) is a strict
+    // total order and the sort is deterministic.
+    for (int v = 0; v < n; ++v) {
+      std::sort(bucket_entries_.begin() + bucket_offsets_[v],
+                bucket_entries_.begin() + bucket_offsets_[v + 1],
+                [](const Entry& a, const Entry& b) {
+                  if (a.dist != b.dist) return a.dist < b.dist;
+                  return a.source < b.source;
+                });
+    }
+  } else {
+    for (size_t i = 0; i < count; ++i) {
+      const int32_t src = static_cast<int32_t>(first_source + i);
+      const int32_t base = static_cast<int32_t>(log_.size());
+      for (size_t k = 0; k < local[i].size(); ++k) {
+        const ChUpwardSearch::Settle& s = local[i][k];
+        log_.push_back(
+            LogEntry{s.vertex, s.parent < 0 ? -1 : base + s.parent, s.arc});
+        delta_buckets_[s.vertex].push_back(
+            Entry{src, base + static_cast<int32_t>(k), s.dist});
+      }
+    }
+    // Keep delta buckets distance-ascending too (same early-exit contract
+    // as the CSR buckets; see above).
+    for (auto& [v, entries] : delta_buckets_) {
+      std::sort(entries.begin(), entries.end(),
+                [](const Entry& a, const Entry& b) {
+                  if (a.dist != b.dist) return a.dist < b.dist;
+                  return a.source < b.source;
+                });
+    }
+  }
+}
+
+void ChBallIndex::AppendNewPois() {
+  if (indexed_pois_ == pois_->size()) return;
+  const size_t first = RegisterPois(indexed_pois_);
+  IndexSources(first, /*into_delta=*/true, /*scheduler=*/nullptr,
+               /*max_lanes=*/1);
+}
+
+ChRangeEngine::ChRangeEngine(const ChBallIndex* index)
+    : index_(index),
+      ch_(&index->ch()),
+      graph_(&ch_->graph()),
+      search_(ch_),
+      unpacker_(ch_) {}
+
+void ChRangeEngine::EnsureArenas() {
+  const size_t ns = index_->num_sources();
+  if (best_cand_.size() < ns) {
+    best_cand_.resize(ns, kInfDistance);
+    best_meet_settle_.resize(ns, -1);
+    best_meet_entry_.resize(ns, -1);
+    cand_stamp_.resize(ns, 0);
+    source_label_.resize(ns, kInfDistance);
+    label_stamp_.resize(ns, 0);
+  }
+}
+
+std::vector<std::pair<PoiId, double>> ChRangeEngine::BallWithDistances(
+    const EdgePosition& center, double radius, const PoiLocator& locator,
+    const std::vector<Poi>& pois) {
+  std::vector<std::pair<PoiId, double>> out;
+  EnsureArenas();
+  ++generation_;
+  if (generation_ == 0) {  // Stamp wrap-around: hard reset.
+    std::fill(cand_stamp_.begin(), cand_stamp_.end(), 0);
+    std::fill(label_stamp_.begin(), label_stamp_.end(), 0);
+    generation_ = 1;
+  }
+
+  // Seeds mirror the reference bounded Dijkstra exactly: each endpoint of
+  // the center edge enters with its exact offset, gated at the radius.
+  const VertexId eu = graph_->edge_u(center.edge);
+  const VertexId ev = graph_->edge_v(center.edge);
+  std::pair<VertexId, double> seeds[2];
+  size_t num_seeds = 0;
+  const double du0 = graph_->OffsetTo(center, eu);
+  const double dv0 = graph_->OffsetTo(center, ev);
+  if (du0 <= radius) seeds[num_seeds++] = {eu, du0};
+  if (dv0 <= radius) seeds[num_seeds++] = {ev, dv0};
+
+  const double slack = ChRangeSlackRadius(radius);
+  const std::vector<ChUpwardSearch::Settle>& settles = search_.Run(
+      std::span<const std::pair<VertexId, double>>(seeds, num_seeds), slack);
+  last_settled_ = settles.size();
+  last_candidates_ = 0;
+
+  // Candidate scan runs on the upward-approximate labels: every label is a
+  // genuine path length (>= the true distance), and on the true shortest
+  // path's meeting vertex both legs are exact, so the per-source minimum
+  // still lands on the right meeting chain and nothing within the radius
+  // is filtered away (the slack absorbs ulp-level differences, exactly as
+  // it does for the backward `en.dist` side). Exact forward labels are
+  // reconstructed lazily below, only along the chains that actually win —
+  // eagerly unpacking every settle is what used to dominate query time.
+  const std::span<const ContractionHierarchy::UpArc> up_arcs = ch_->up_arcs();
+  exact_fw_.assign(settles.size(), kInfDistance);
+  touched_sources_.clear();
+  const bool has_delta = index_->has_delta();
+  for (size_t i = 0; i < settles.size(); ++i) {
+    const ChUpwardSearch::Settle& s = settles[i];
+    const double fw = s.dist;
+    const auto scan = [&](const ChBallIndex::Entry& en) {
+      ++last_candidates_;
+      const double cand = fw + en.dist;
+      if (cand > slack) return;
+      if (cand_stamp_[en.source] != generation_) {
+        cand_stamp_[en.source] = generation_;
+        best_cand_[en.source] = cand;
+        best_meet_settle_[en.source] = static_cast<int32_t>(i);
+        best_meet_entry_[en.source] = en.log_entry;
+        touched_sources_.push_back(en.source);
+      } else if (cand < best_cand_[en.source]) {
+        best_cand_[en.source] = cand;
+        best_meet_settle_[en.source] = static_cast<int32_t>(i);
+        best_meet_entry_[en.source] = en.log_entry;
+      }
+    };
+    // Buckets are distance-ascending: once fw + dist exceeds the slack
+    // radius no later entry can qualify, so stop scanning. This is what
+    // keeps hub-vertex buckets (one entry per source, nearly) from
+    // dominating the query.
+    for (const ChBallIndex::Entry& en : index_->BucketAt(s.vertex)) {
+      if (fw + en.dist > slack) break;
+      scan(en);
+    }
+    if (has_delta) {
+      if (const std::vector<ChBallIndex::Entry>* d =
+              index_->DeltaBucketAt(s.vertex)) {
+        for (const ChBallIndex::Entry& en : *d) {
+          if (fw + en.dist > slack) break;
+          scan(en);
+        }
+      }
+    }
+  }
+
+  // Exact forward label of settle `idx`, memoized per settle: walk up the
+  // tree to the nearest already-exact ancestor (seeds are exact by
+  // construction), then unpack each tree arc into original edges
+  // accumulated left-to-right — Dijkstra's association along the same
+  // (unique) shortest path.
+  const auto exact_fw = [&](int32_t idx) {
+    fw_chain_.clear();
+    int32_t cur = idx;
+    while (exact_fw_[cur] == kInfDistance && settles[cur].parent >= 0) {
+      fw_chain_.push_back(cur);
+      cur = settles[cur].parent;
+    }
+    if (exact_fw_[cur] == kInfDistance) exact_fw_[cur] = settles[cur].dist;
+    for (size_t k = fw_chain_.size(); k-- > 0;) {
+      const int32_t c = fw_chain_[k];
+      const ChUpwardSearch::Settle& s = settles[c];
+      exact_fw_[c] = unpacker_.Accumulate(settles[s.parent].vertex, s.vertex,
+                                          up_arcs[s.arc], exact_fw_[s.parent]);
+    }
+    return exact_fw_[idx];
+  };
+
+  // Finalize each touched source: continue the exact accumulation from the
+  // best meeting point down the source's settle-log chain (descending the
+  // hierarchy toward the source — forward travel order, one original edge
+  // at a time). The exact label then faces the same `<= radius` test the
+  // reference applies to its Dijkstra label.
+  for (const int32_t src : touched_sources_) {
+    double acc = exact_fw(best_meet_settle_[src]);
+    int32_t cur = best_meet_entry_[src];
+    while (index_->log(cur).parent >= 0) {
+      const ChBallIndex::LogEntry& le = index_->log(cur);
+      const ChBallIndex::LogEntry& pa = index_->log(le.parent);
+      acc = unpacker_.Accumulate(le.vertex, pa.vertex, up_arcs[le.arc], acc);
+      cur = le.parent;
+    }
+    if (acc <= radius) {
+      source_label_[src] = acc;
+      label_stamp_[src] = generation_;
+    }
+  }
+
+  // Emit POIs with the reference's own arithmetic and order: ascending
+  // edge id over POI-carrying edges, insertion order within an edge. An
+  // edge whose endpoints both missed the radius contributes nothing in
+  // the reference too (its labels read as kInfDistance there).
+  const auto label = [&](VertexId x) -> double {
+    const int32_t s = index_->source_index(x);
+    if (s < 0 || label_stamp_[s] != generation_) return kInfDistance;
+    return source_label_[s];
+  };
+  for (const EdgeId e : index_->poi_edges()) {
+    const VertexId u = graph_->edge_u(e);
+    const VertexId v = graph_->edge_v(e);
+    const double du = label(u);
+    const double dv = label(v);
+    if (du == kInfDistance && dv == kInfDistance && e != center.edge) {
+      continue;
+    }
+    const double w = graph_->edge_weight(e);
+    for (const PoiId id : locator.PoisOnEdge(e)) {
+      const Poi& poi = pois[id];
+      double d = std::min(du + poi.position.t * w,
+                          dv + (1.0 - poi.position.t) * w);
+      if (e == center.edge) {
+        d = std::min(d, std::abs(center.t - poi.position.t) * w);
+      }
+      if (d <= radius) out.emplace_back(id, d);
+    }
+  }
+  return out;
+}
+
+}  // namespace gpssn

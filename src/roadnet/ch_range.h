@@ -1,0 +1,233 @@
+// Copyright 2026 The gpssn Authors.
+//
+// CH-powered range/ball engine: answers B(o, r) — "all POIs within road
+// distance r of a center" — from the contraction hierarchy instead of a
+// bounded Dijkstra over the ball's whole neighbourhood, BIT-EXACT against
+// the reference PoiLocator::BallWithDistances (identical distances AND
+// output order) whenever shortest paths are unique.
+//
+// Structure (a bucket index over the sparse POI vertex set W = endpoints
+// of POI-carrying edges):
+//
+//   * ChBallIndex (built once per backend, shared, immutable during
+//     queries): one upward search per w ∈ W records, at every reached
+//     vertex m, a bucket entry (w, d_up(w, m)) plus a settle-log chain
+//     that remembers the upward parent tree — enough to later unpack the
+//     w→m path into original road edges.
+//   * ChRangeEngine (per thread): one upward search from the center with
+//     parent tracking. At each settled vertex it scans the bucket and
+//     keeps, per w, the best meeting. Forward labels are made EXACT by
+//     unpacking each tree arc and accumulating original edge weights in
+//     travel order; the winning meeting's backward chain is then unpacked
+//     the same way, so the final label reproduces bounded Dijkstra's
+//     floating-point accumulation along the same shortest path, add by
+//     add. POIs are emitted by the reference's own formula over the
+//     ascending list of POI-carrying edges — the identical subsequence the
+//     Dijkstra ball produces.
+//
+// Why this is fast: the ball's neighbourhood holds O(r^2·density)
+// vertices, all settled by bounded Dijkstra; the upward search settles
+// only the center's CH search space (hundreds on million-vertex graphs)
+// and touches buckets proportional to nearby POI edges.
+//
+// Mutation contract: AppendNewPois() indexes POIs appended since the last
+// build/append (delta buckets + new sources). It must run with queries
+// quiesced (the database's maintenance lock); engines created afterwards
+// see the grown index via DistanceBackend::poi_generation().
+
+#ifndef GPSSN_ROADNET_CH_RANGE_H_
+#define GPSSN_ROADNET_CH_RANGE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "roadnet/contraction_hierarchy.h"
+#include "roadnet/poi.h"
+#include "roadnet/road_graph.h"
+#include "roadnet/shortest_path.h"
+
+namespace gpssn {
+
+class TaskScheduler;
+
+/// Slack added to the query radius when pruning the upward search and its
+/// meeting candidates: upward labels carry shortcut-association rounding
+/// (relative error ~1e-12 on realistic paths), so candidates are kept
+/// slightly beyond the radius and the EXACT unpacked label makes the final
+/// `<= radius` decision — bit-for-bit the comparison Dijkstra performs.
+inline double ChRangeSlackRadius(double radius) {
+  return radius + 1e-9 * (1.0 + radius);
+}
+
+/// Upward Dijkstra with parent tracking. Settles are reported in order
+/// with the parent tree (settle-index links) and the global up-arc index
+/// used to reach each vertex, so callers can unpack exact path weights.
+/// Reusable arenas; one instance per thread.
+class ChUpwardSearch {
+ public:
+  explicit ChUpwardSearch(const ContractionHierarchy* ch);
+
+  struct Settle {
+    VertexId vertex = kInvalidVertex;
+    int32_t parent = -1;  // Settle index of the tree parent; -1 for seeds.
+    int32_t arc = -1;     // Global up-arc index from parent; -1 for seeds.
+    double dist = 0.0;    // Upward label (approximate across shortcuts).
+  };
+
+  /// Runs from `seeds` (vertex, exact seed distance); labels above `bound`
+  /// are neither settled nor relaxed. Returns the settle list, valid until
+  /// the next Run.
+  const std::vector<Settle>& Run(
+      std::span<const std::pair<VertexId, double>> seeds, double bound);
+
+ private:
+  const ContractionHierarchy* ch_;
+  std::vector<double> dist_;
+  std::vector<uint32_t> stamp_;
+  std::vector<int32_t> parent_;  // Settle index of the current best parent.
+  std::vector<int32_t> arc_;     // Global up-arc index of that relaxation.
+  uint32_t generation_ = 0;
+  std::vector<std::pair<double, VertexId>> heap_;
+  std::vector<Settle> settles_;
+};
+
+/// Immutable-during-queries bucket index over the POI vertex set. Shared
+/// by every engine of a CH backend.
+class ChBallIndex {
+ public:
+  /// Bucket entry at vertex m: source w reaches m with upward distance
+  /// `dist`; `log_entry` indexes the settle-log chain from m back to w.
+  struct Entry {
+    int32_t source = -1;
+    int32_t log_entry = -1;
+    double dist = 0.0;
+  };
+  /// One settle of a source's upward search; parent links point toward
+  /// the source (-1 at the source itself).
+  struct LogEntry {
+    VertexId vertex = kInvalidVertex;
+    int32_t parent = -1;  // Global log index; -1 at the source.
+    int32_t arc = -1;     // Global up-arc index from parent; -1 at source.
+  };
+
+  /// Builds buckets for every endpoint of a POI-carrying edge. Backward
+  /// searches are bounded by ChRangeSlackRadius(max_radius) —
+  /// kInfDistance = unbounded, serving any radius. With a scheduler the
+  /// per-source searches fan out as morsel chunks (bitwise-identical
+  /// index at every worker count).
+  ChBallIndex(const ContractionHierarchy* ch, const std::vector<Poi>* pois,
+              double max_radius, TaskScheduler* scheduler, int max_lanes);
+
+  /// Indexes POIs appended to the backing vector since construction (or
+  /// the previous call): new POI edges and delta buckets for new source
+  /// vertices. Requires quiesced queries (see header comment).
+  void AppendNewPois();
+
+  const ContractionHierarchy& ch() const { return *ch_; }
+  double max_radius() const { return max_radius_; }
+  size_t num_sources() const { return sources_.size(); }
+  size_t indexed_pois() const { return indexed_pois_; }
+
+  /// Source index of vertex `v`, or -1 when v is not a POI-edge endpoint.
+  int32_t source_index(VertexId v) const { return vertex_to_source_[v]; }
+  VertexId source_vertex(int32_t s) const { return sources_[s]; }
+
+  /// Ascending ids of all edges carrying at least one POI.
+  std::span<const EdgeId> poi_edges() const { return poi_edges_; }
+
+  std::span<const Entry> BucketAt(VertexId v) const {
+    return std::span<const Entry>(
+        bucket_entries_.data() + bucket_offsets_[v],
+        static_cast<size_t>(bucket_offsets_[v + 1] - bucket_offsets_[v]));
+  }
+
+  bool has_delta() const { return !delta_buckets_.empty(); }
+  /// Delta bucket of `v` (entries for sources added by AppendNewPois), or
+  /// nullptr.
+  const std::vector<Entry>* DeltaBucketAt(VertexId v) const {
+    const auto it = delta_buckets_.find(v);
+    return it == delta_buckets_.end() ? nullptr : &it->second;
+  }
+
+  const LogEntry& log(int32_t i) const { return log_[i]; }
+
+ private:
+  /// Runs the upward searches for sources_[first_source..) and appends
+  /// their settle logs; bulk (CSR) or delta storage per `into_delta`.
+  void IndexSources(size_t first_source, bool into_delta,
+                    TaskScheduler* scheduler, int max_lanes);
+  /// Rebuilds poi_edges_ / sources_ bookkeeping from (*pois_)[from..).
+  /// Returns the first new source index.
+  size_t RegisterPois(size_t from);
+
+  const ContractionHierarchy* ch_;
+  const std::vector<Poi>* pois_;
+  double max_radius_ = kInfDistance;
+  size_t indexed_pois_ = 0;
+
+  std::vector<VertexId> sources_;
+  std::vector<int32_t> vertex_to_source_;
+  std::vector<EdgeId> poi_edges_;  // Sorted ascending, unique.
+
+  // Bulk bucket storage: CSR over vertices, entries grouped by vertex in
+  // ascending source order.
+  std::vector<int64_t> bucket_offsets_;
+  std::vector<Entry> bucket_entries_;
+  // Delta storage for sources added after construction.
+  std::unordered_map<VertexId, std::vector<Entry>> delta_buckets_;
+
+  std::vector<LogEntry> log_;
+};
+
+/// Per-thread ball/range query engine over a ChBallIndex. Not thread-safe
+/// (stamped candidate arenas); create one per engine/thread.
+class ChRangeEngine {
+ public:
+  explicit ChRangeEngine(const ChBallIndex* index);
+
+  /// Bit-exact replacement for
+  /// PoiLocator::BallWithDistances(center, radius, <bounded Dijkstra>):
+  /// same (id, distance) pairs in the same order. `locator` and `pois`
+  /// must be the ones the reference engine would use.
+  std::vector<std::pair<PoiId, double>> BallWithDistances(
+      const EdgePosition& center, double radius, const PoiLocator& locator,
+      const std::vector<Poi>& pois);
+
+  /// Upward vertices settled by the last query (perf introspection).
+  size_t last_settled() const { return last_settled_; }
+  /// Meeting candidates examined by the last query.
+  size_t last_candidates() const { return last_candidates_; }
+
+ private:
+  void EnsureArenas();
+
+  const ChBallIndex* index_;
+  const ContractionHierarchy* ch_;
+  const RoadNetwork* graph_;
+  ChUpwardSearch search_;
+  ChPathUnpacker unpacker_;
+
+  // Per-settle exact forward labels, memoized lazily along winning chains
+  // (kInfDistance = not yet reconstructed); fw_chain_ is walk scratch.
+  std::vector<double> exact_fw_;
+  std::vector<int32_t> fw_chain_;
+  // Per-source candidate arena, stamped by query generation.
+  std::vector<double> best_cand_;
+  std::vector<int32_t> best_meet_settle_;
+  std::vector<int32_t> best_meet_entry_;
+  std::vector<uint32_t> cand_stamp_;
+  std::vector<double> source_label_;
+  std::vector<uint32_t> label_stamp_;
+  std::vector<int32_t> touched_sources_;
+  uint32_t generation_ = 0;
+
+  size_t last_settled_ = 0;
+  size_t last_candidates_ = 0;
+};
+
+}  // namespace gpssn
+
+#endif  // GPSSN_ROADNET_CH_RANGE_H_

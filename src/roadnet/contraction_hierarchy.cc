@@ -1,204 +1,540 @@
 #include "roadnet/contraction_hierarchy.h"
 
 #include <algorithm>
-#include <queue>
-#include <unordered_map>
+#include <utility>
 
 #include "common/macros.h"
+#include "common/parallel_for.h"
+#include "common/task_scheduler.h"
 
 namespace gpssn {
 
 namespace {
 
-// Small bounded Dijkstra over the remaining (uncontracted) graph used for
-// witness searches. Owns stamped arenas sized once per build.
+// One directed half of a remaining-graph edge during construction.
+// `middle` is the contracted vertex a shortcut bypasses (kInvalidVertex
+// for original road edges).
+struct BuildArc {
+  VertexId to = kInvalidVertex;
+  VertexId middle = kInvalidVertex;
+  double weight = 0.0;
+};
+
+// An undirected remaining-graph edge, accumulated for the final upward
+// graph. all_edges keeps every inserted value (later improvements append
+// again); the final per-(lo, hi) minimum wins.
+struct EdgeRec {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  VertexId middle = kInvalidVertex;
+  double weight = 0.0;
+};
+
+// Small bounded one-to-many Dijkstra over the remaining (uncontracted)
+// graph used for witness searches. One search per contraction neighbour
+// serves every pair that neighbour participates in, so simulating a
+// degree-d contraction costs d searches instead of d^2/2. Owns stamped
+// arenas sized once per build; one instance per build lane.
 class WitnessSearch {
  public:
   explicit WitnessSearch(int n)
-      : dist_(n, kInfDistance), hops_(n, 0), stamp_(n, 0) {}
+      : dist_(n, kInfDistance),
+        hops_(n, 0),
+        stamp_(n, 0),
+        target_bound_(n, 0.0),
+        target_stamp_(n, 0) {}
 
-  /// Returns the distance from `source` to `target` in the remaining graph
-  /// with `skip` removed, or kInfDistance once `bound`, the hop limit, or
-  /// the settle budget is exceeded. Never underestimates reachability
-  /// failures: a kInfDistance result only means "no witness found within
-  /// the budget", which is safe (a shortcut is added).
-  double Run(const std::vector<std::unordered_map<VertexId, double>>& adj,
-             const std::vector<bool>& contracted, VertexId source,
-             VertexId target, VertexId skip, double bound, int hop_limit,
-             int settle_limit) {
+  /// Searches from `source` in the remaining graph with `skip` removed
+  /// (and, when `excluded` is non-empty, every flagged vertex removed —
+  /// the round's whole selected set). Each target carries its own
+  /// acceptance bound (the through-v weight of its pair); the search stops
+  /// once every target holds a label within its bound, the settle budget
+  /// runs out, or all keys exceed the largest bound. Read results with
+  /// Label(): any returned label is a genuine path length, so accepting
+  /// `Label(b) <= through` is always sound — budget exhaustion only means
+  /// "no witness found", which conservatively adds a shortcut.
+  void Run(const std::vector<std::vector<BuildArc>>& adj,
+           const std::vector<uint8_t>& contracted,
+           const std::vector<uint8_t>& excluded, VertexId source,
+           const std::vector<std::pair<VertexId, double>>& targets,
+           VertexId skip, int hop_limit, int settle_limit) {
     ++generation_;
     if (generation_ == 0) {
       std::fill(stamp_.begin(), stamp_.end(), 0);
+      std::fill(target_stamp_.begin(), target_stamp_.end(), 0);
       generation_ = 1;
     }
-    heap_ = {};
+    heap_.clear();
+    double bound = 0.0;
+    int remaining = 0;
+    for (const auto& [t, b] : targets) {
+      target_stamp_[t] = generation_;
+      target_bound_[t] = b;
+      bound = std::max(bound, b);
+      ++remaining;
+    }
     dist_[source] = 0.0;
     hops_[source] = 0;
     stamp_[source] = generation_;
-    heap_.push({0.0, source});
+    heap_.push_back({0.0, source});
     int settled = 0;
-    while (!heap_.empty()) {
-      const auto [d, v] = heap_.top();
-      heap_.pop();
+    const bool has_excluded = !excluded.empty();
+    auto greater = [](const std::pair<double, VertexId>& a,
+                      const std::pair<double, VertexId>& b) {
+      return a.first > b.first;
+    };
+    while (!heap_.empty() && remaining > 0) {
+      std::pop_heap(heap_.begin(), heap_.end(), greater);
+      const auto [d, v] = heap_.back();
+      heap_.pop_back();
       if (stamp_[v] != generation_ || d > dist_[v]) continue;
-      if (d > bound) return kInfDistance;
-      if (v == target) return d;
-      if (++settled > settle_limit) return kInfDistance;
+      if (d > bound) break;
+      if (++settled > settle_limit) break;
       if (hops_[v] >= hop_limit) continue;
-      for (const auto& [to, w] : adj[v]) {
-        if (to == skip || contracted[to]) continue;
-        const double nd = d + w;
+      for (const BuildArc& arc : adj[v]) {
+        const VertexId to = arc.to;
+        if (to == skip || contracted[to] != 0) continue;
+        if (has_excluded && excluded[to] != 0) continue;
+        const double nd = d + arc.weight;
         if (nd > bound) continue;
         if (stamp_[to] != generation_ || nd < dist_[to]) {
+          if (target_stamp_[to] == generation_ && nd <= target_bound_[to] &&
+              !(stamp_[to] == generation_ && dist_[to] <= target_bound_[to])) {
+            --remaining;  // Target newly satisfied by this label.
+          }
           dist_[to] = nd;
           hops_[to] = hops_[v] + 1;
           stamp_[to] = generation_;
-          heap_.push({nd, to});
+          heap_.push_back({nd, to});
+          std::push_heap(heap_.begin(), heap_.end(), greater);
         }
       }
     }
-    return kInfDistance;
+  }
+
+  /// Best path label the last Run assigned to `v` (kInfDistance if none).
+  double Label(VertexId v) const {
+    return stamp_[v] == generation_ ? dist_[v] : kInfDistance;
   }
 
  private:
   std::vector<double> dist_;
   std::vector<int> hops_;
   std::vector<uint32_t> stamp_;
+  std::vector<double> target_bound_;
+  std::vector<uint32_t> target_stamp_;
   uint32_t generation_ = 0;
-  std::priority_queue<std::pair<double, VertexId>,
-                      std::vector<std::pair<double, VertexId>>,
-                      std::greater<>>
-      heap_;
+  std::vector<std::pair<double, VertexId>> heap_;
 };
+
+// A shortcut to insert, produced by a (parallel) contraction simulation.
+struct ShortcutRec {
+  VertexId a = kInvalidVertex;
+  VertexId b = kInvalidVertex;
+  double weight = 0.0;
+};
+
+// Round-based independent-set contraction. All phase outputs are written
+// to per-vertex or per-index slots, so the parallel and serial paths are
+// bitwise identical.
+class ChBuilder {
+ public:
+  ChBuilder(const RoadNetwork& g, const ChOptions& options)
+      : g_(g), options_(options) {}
+
+  void Run();
+
+  std::vector<int32_t> rank;
+  std::vector<int64_t> up_offsets;
+  std::vector<ContractionHierarchy::UpArc> up_arcs;
+  int num_shortcuts = 0;
+  int rounds = 0;
+
+ private:
+  int UncontractedDegree(VertexId v) const {
+    int degree = 0;
+    for (const BuildArc& arc : adj_[v]) {
+      if (contracted_[arc.to] == 0) ++degree;
+    }
+    return degree;
+  }
+
+  // (priority, id) lexicographic order decides local minima; ids break
+  // ties, so keys are distinct and every round selects at least the
+  // global minimum among alive vertices.
+  bool KeyLess(VertexId a, VertexId b) const {
+    if (priority_[a] != priority_[b]) return priority_[a] < priority_[b];
+    return a < b;
+  }
+
+  bool IsLocalMinimum(VertexId v) const {
+    for (const BuildArc& arc : adj_[v]) {
+      if (contracted_[arc.to] == 0 && KeyLess(arc.to, v)) return false;
+    }
+    return true;
+  }
+
+  /// Simulates contracting `v`: counts the shortcuts it would need and
+  /// (when `out` != nullptr) records them. With `exclude_selected`, the
+  /// witness searches treat the round's whole selected set as removed.
+  /// Runs ONE one-to-many witness search per neighbour (targets = the
+  /// later neighbours, each bounded by its pair's through-v weight), so
+  /// the cost is linear rather than quadratic in the degree.
+  int SimulateContraction(VertexId v, int lane, bool exclude_selected,
+                          std::vector<ShortcutRec>* out) {
+    WitnessSearch& witness = *witness_[lane];
+    std::vector<std::pair<VertexId, double>>& neighbors =
+        neighbor_scratch_[lane];
+    std::vector<std::pair<VertexId, double>>& targets = target_scratch_[lane];
+    neighbors.clear();
+    for (const BuildArc& arc : adj_[v]) {
+      if (contracted_[arc.to] == 0) neighbors.emplace_back(arc.to, arc.weight);
+    }
+    int count = 0;
+    for (size_t i = 0; i + 1 < neighbors.size(); ++i) {
+      const auto [a, wa] = neighbors[i];
+      targets.clear();
+      for (size_t j = i + 1; j < neighbors.size(); ++j) {
+        targets.emplace_back(neighbors[j].first, wa + neighbors[j].second);
+      }
+      // The settle budget covers the whole one-to-many search. Scale it
+      // with the target count but cap the scaling: witness paths between
+      // neighbours of one vertex are short, so a modest multiple of the
+      // per-pair budget almost always suffices, while an uncapped product
+      // makes every witness FAILURE (the case that inserts a shortcut)
+      // pay for a huge exhaustive ball. Priority-only simulations (out ==
+      // nullptr) just need an estimate and get a tighter cap.
+      const int scale =
+          std::min(static_cast<int>(targets.size()), out != nullptr ? 4 : 2);
+      witness.Run(adj_, contracted_,
+                  exclude_selected ? selected_flag_ : no_flags_, a, targets, v,
+                  options_.witness_hop_limit,
+                  options_.witness_settle_limit * scale);
+      for (size_t j = i + 1; j < neighbors.size(); ++j) {
+        const auto [b, wb] = neighbors[j];
+        const double through = wa + wb;
+        if (witness.Label(b) <= through) continue;  // Witness: no shortcut.
+        ++count;
+        if (out != nullptr) out->push_back(ShortcutRec{a, b, through});
+      }
+    }
+    return count;
+  }
+
+  /// Inserts (or improves) the directed half (from -> to) of a shortcut
+  /// through `middle`. Returns true when the adjacency changed.
+  bool RelaxAdj(VertexId from, VertexId to, double weight, VertexId middle) {
+    for (BuildArc& arc : adj_[from]) {
+      if (arc.to != to) continue;
+      if (weight < arc.weight) {
+        arc.weight = weight;
+        arc.middle = middle;
+        return true;
+      }
+      return false;
+    }
+    adj_[from].push_back(BuildArc{to, middle, weight});
+    return true;
+  }
+
+  void MarkDirty(VertexId v) {
+    if (dirty_flag_[v] == 0) dirty_flag_[v] = 1;
+  }
+
+  void ParallelPhase(size_t count, size_t chunk,
+                     const std::function<void(int, size_t, size_t)>& fn) {
+    ParallelFor loop(options_.scheduler, lanes_, count, chunk, fn);
+    loop.Run();
+  }
+
+  void BuildUpwardGraph();
+
+  const RoadNetwork& g_;
+  const ChOptions& options_;
+  int n_ = 0;
+  int lanes_ = 1;
+
+  std::vector<std::vector<BuildArc>> adj_;
+  std::vector<EdgeRec> all_edges_;
+  std::vector<uint8_t> contracted_;
+  std::vector<uint8_t> selected_flag_;
+  std::vector<uint8_t> no_flags_;  // Empty: witness excludes nothing extra.
+  std::vector<uint8_t> min_flag_;
+  std::vector<uint8_t> dirty_flag_;
+  std::vector<int> deleted_neighbors_;
+  std::vector<int> priority_;
+  std::vector<VertexId> alive_;
+  std::vector<VertexId> dirty_;
+  std::vector<VertexId> selected_;
+  std::vector<std::vector<ShortcutRec>> round_shortcuts_;
+  std::vector<std::unique_ptr<WitnessSearch>> witness_;
+  std::vector<std::vector<std::pair<VertexId, double>>> neighbor_scratch_;
+  std::vector<std::vector<std::pair<VertexId, double>>> target_scratch_;
+};
+
+// Vertices above this remaining degree get an approximate priority
+// (assume every pair needs a shortcut) instead of a full contraction
+// simulation. Such vertices sit in the dense late-contraction core where
+// (a) simulation is quadratic in the degree and (b) the approximation is
+// the dominant term anyway, so selection order barely changes while
+// priority recomputation stops being the build bottleneck on grid-like
+// networks. Purely a function of round-start state — serial and parallel
+// builds still match bitwise.
+constexpr int kPrioritySimulationDegreeCap = 16;
+
+void ChBuilder::Run() {
+  n_ = g_.num_vertices();
+  lanes_ = PreprocessLaneCap(options_.scheduler, options_.build_max_lanes);
+
+  rank.assign(n_, -1);
+  adj_.assign(n_, {});
+  for (EdgeId e = 0; e < g_.num_edges(); ++e) {
+    const VertexId u = g_.edge_u(e), v = g_.edge_v(e);
+    const double w = g_.edge_weight(e);
+    // The builder rejects self-loops and parallel edges, so every (u, v)
+    // appears exactly once — original arcs carry the exact edge weight.
+    adj_[u].push_back(BuildArc{v, kInvalidVertex, w});
+    adj_[v].push_back(BuildArc{u, kInvalidVertex, w});
+  }
+  all_edges_.reserve(static_cast<size_t>(g_.num_edges()) * 2);
+  for (VertexId u = 0; u < n_; ++u) {
+    for (const BuildArc& arc : adj_[u]) {
+      if (u < arc.to) {
+        all_edges_.push_back(EdgeRec{u, arc.to, kInvalidVertex, arc.weight});
+      }
+    }
+  }
+
+  contracted_.assign(n_, 0);
+  selected_flag_.assign(n_, 0);
+  min_flag_.assign(n_, 0);
+  dirty_flag_.assign(n_, 0);
+  deleted_neighbors_.assign(n_, 0);
+  priority_.assign(n_, 0);
+  witness_.resize(lanes_);
+  neighbor_scratch_.resize(lanes_);
+  target_scratch_.resize(lanes_);
+  for (int lane = 0; lane < lanes_; ++lane) {
+    witness_[lane] = std::make_unique<WitnessSearch>(n_);
+  }
+
+  alive_.resize(n_);
+  for (VertexId v = 0; v < n_; ++v) alive_[v] = v;
+  dirty_ = alive_;
+
+  int next_rank = 0;
+  while (next_rank < n_) {
+    ++rounds;
+
+    // Phase A: recompute priorities of vertices whose neighbourhood
+    // changed last round (all vertices in round 1).
+    ParallelPhase(dirty_.size(), 64, [this](int lane, size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        const VertexId v = dirty_[i];
+        const int degree = UncontractedDegree(v);
+        const int needed =
+            degree > kPrioritySimulationDegreeCap
+                ? degree * (degree - 1) / 2
+                : SimulateContraction(v, lane, false, nullptr);
+        priority_[v] = needed - degree + deleted_neighbors_[v];
+      }
+    });
+
+    // Phase B: independent set = alive vertices that are local minima of
+    // (priority, id) among their alive neighbours.
+    ParallelPhase(alive_.size(), 512, [this](int, size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        const VertexId v = alive_[i];
+        min_flag_[v] = IsLocalMinimum(v) ? 1 : 0;
+      }
+    });
+    selected_.clear();
+    for (const VertexId v : alive_) {
+      if (min_flag_[v] != 0) {
+        selected_.push_back(v);
+        selected_flag_[v] = 1;
+      }
+    }
+    // The alive vertex with the globally smallest key is always a local
+    // minimum, so every round makes progress.
+    GPSSN_CHECK(!selected_.empty());
+
+    // Phase C: simulate every selected contraction against the
+    // round-start graph. Witness searches skip the whole selected set, so
+    // each witness path survives the entire round.
+    round_shortcuts_.resize(selected_.size());
+    for (auto& recs : round_shortcuts_) recs.clear();
+    ParallelPhase(selected_.size(), 8, [this](int lane, size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        SimulateContraction(selected_[i], lane, true, &round_shortcuts_[i]);
+      }
+    });
+
+    // Phase D: apply serially in id order (selected_ is id-ascending).
+    for (const VertexId v : selected_) {
+      contracted_[v] = 1;
+      rank[v] = next_rank++;
+    }
+    for (size_t i = 0; i < selected_.size(); ++i) {
+      const VertexId v = selected_[i];
+      for (const BuildArc& arc : adj_[v]) {
+        if (contracted_[arc.to] == 0) {
+          ++deleted_neighbors_[arc.to];
+          MarkDirty(arc.to);
+        }
+      }
+      for (const ShortcutRec& sc : round_shortcuts_[i]) {
+        const bool fresh = RelaxAdj(sc.a, sc.b, sc.weight, v);
+        RelaxAdj(sc.b, sc.a, sc.weight, v);
+        if (fresh) {
+          all_edges_.push_back(EdgeRec{sc.a, sc.b, v, sc.weight});
+          ++num_shortcuts;
+        }
+        MarkDirty(sc.a);
+        MarkDirty(sc.b);
+      }
+      selected_flag_[v] = 0;
+    }
+
+    // Refresh the alive and dirty lists (id order keeps everything
+    // deterministic). Dirty vertices compact their adjacency — every
+    // vertex next to something contracted this round IS dirty, so after
+    // this loop no live list carries dead entries and witness searches
+    // never scan them. Contracted vertices release their lists outright.
+    std::vector<VertexId> next_alive;
+    next_alive.reserve(alive_.size() - selected_.size());
+    dirty_.clear();
+    for (const VertexId v : alive_) {
+      if (contracted_[v] != 0) {
+        dirty_flag_[v] = 0;
+        std::vector<BuildArc>().swap(adj_[v]);
+        continue;
+      }
+      next_alive.push_back(v);
+      if (dirty_flag_[v] != 0) {
+        dirty_.push_back(v);
+        dirty_flag_[v] = 0;
+        std::erase_if(adj_[v], [this](const BuildArc& arc) {
+          return contracted_[arc.to] != 0;
+        });
+      }
+    }
+    alive_ = std::move(next_alive);
+  }
+
+  BuildUpwardGraph();
+}
+
+void ChBuilder::BuildUpwardGraph() {
+  // Every surviving edge points from the lower-ranked to the higher-ranked
+  // endpoint; keep the minimum weight per (from, to) — stable sort keeps
+  // the earliest insertion among exact ties, so an original edge always
+  // beats a later equal-weight shortcut and unpacking terminates.
+  for (EdgeRec& rec : all_edges_) {
+    if (rank[rec.u] > rank[rec.v]) std::swap(rec.u, rec.v);
+  }
+  std::stable_sort(all_edges_.begin(), all_edges_.end(),
+                   [](const EdgeRec& a, const EdgeRec& b) {
+                     if (a.u != b.u) return a.u < b.u;
+                     if (a.v != b.v) return a.v < b.v;
+                     return a.weight < b.weight;
+                   });
+  up_offsets.assign(n_ + 1, 0);
+  size_t kept = 0;
+  for (size_t i = 0; i < all_edges_.size(); ++i) {
+    if (i > 0 && all_edges_[i].u == all_edges_[i - 1].u &&
+        all_edges_[i].v == all_edges_[i - 1].v) {
+      continue;  // Dominated duplicate of the same vertex pair.
+    }
+    all_edges_[kept++] = all_edges_[i];
+    ++up_offsets[all_edges_[i].u + 1];
+  }
+  all_edges_.resize(kept);
+  for (VertexId v = 0; v < n_; ++v) up_offsets[v + 1] += up_offsets[v];
+  up_arcs.resize(kept);
+  std::vector<int64_t> cursor(up_offsets.begin(), up_offsets.end() - 1);
+  for (const EdgeRec& rec : all_edges_) {
+    up_arcs[cursor[rec.u]++] =
+        ContractionHierarchy::UpArc{rec.v, rec.middle, rec.weight};
+  }
+}
 
 }  // namespace
 
 ContractionHierarchy::ContractionHierarchy(ChOptions options)
     : options_(options) {}
 
+void ContractionHierarchy::AdoptOwned(OwnedStorage owned) {
+  auto shared = std::make_shared<OwnedStorage>(std::move(owned));
+  rank_ = shared->rank;
+  up_offsets_ = shared->up_offsets;
+  up_arcs_ = shared->up_arcs;
+  payload_ = std::move(shared);
+}
+
 void ContractionHierarchy::Build(const RoadNetwork* graph) {
   GPSSN_CHECK(graph != nullptr);
   graph_ = graph;
-  const int n = graph->num_vertices();
-  rank_.assign(n, -1);
-  up_.assign(n, {});
-  num_shortcuts_ = 0;
+  ChBuilder builder(*graph, options_);
+  builder.Run();
+  num_shortcuts_ = builder.num_shortcuts;
+  build_rounds_ = builder.rounds;
+  AdoptOwned(OwnedStorage{std::move(builder.rank),
+                          std::move(builder.up_offsets),
+                          std::move(builder.up_arcs)});
+}
 
-  // Dynamic remaining graph: min-weight multi-edge collapse.
-  std::vector<std::unordered_map<VertexId, double>> adj(n);
-  for (EdgeId e = 0; e < graph->num_edges(); ++e) {
-    const VertexId u = graph->edge_u(e), v = graph->edge_v(e);
-    const double w = graph->edge_weight(e);
-    auto relax = [](std::unordered_map<VertexId, double>* m, VertexId key,
-                    double weight) {
-      auto it = m->find(key);
-      if (it == m->end() || weight < it->second) (*m)[key] = weight;
-    };
-    relax(&adj[u], v, w);
-    relax(&adj[v], u, w);
-  }
-  // All surviving edges (original collapsed + shortcuts), for the final
-  // upward-graph construction.
-  std::vector<std::tuple<VertexId, VertexId, double>> all_edges;
-  for (VertexId u = 0; u < n; ++u) {
-    for (const auto& [v, w] : adj[u]) {
-      if (u < v) all_edges.emplace_back(u, v, w);
-    }
-  }
+ContractionHierarchy ContractionHierarchy::AdoptStorage(
+    const RoadNetwork* graph, const ChOptions& options,
+    std::span<const int32_t> rank, std::span<const int64_t> up_offsets,
+    std::span<const UpArc> up_arcs, int num_shortcuts,
+    std::shared_ptr<const void> payload) {
+  GPSSN_CHECK(graph != nullptr);
+  GPSSN_CHECK(static_cast<int>(rank.size()) == graph->num_vertices());
+  GPSSN_CHECK(up_offsets.size() == rank.size() + 1);
+  ContractionHierarchy ch(options);
+  ch.graph_ = graph;
+  ch.rank_ = rank;
+  ch.up_offsets_ = up_offsets;
+  ch.up_arcs_ = up_arcs;
+  ch.num_shortcuts_ = num_shortcuts;
+  ch.payload_ = std::move(payload);
+  return ch;
+}
 
-  std::vector<bool> contracted(n, false);
-  std::vector<int> deleted_neighbors(n, 0);
-  WitnessSearch witness(n);
+const ContractionHierarchy::UpArc& ContractionHierarchy::UpArcBetween(
+    VertexId from, VertexId to) const {
+  // up(from) is sorted by target id; hub vertices carry hundreds of arcs
+  // and unpacking visits them constantly, so binary search matters.
+  const std::span<const UpArc> arcs = up(from);
+  const auto it = std::lower_bound(
+      arcs.begin(), arcs.end(), to,
+      [](const UpArc& arc, VertexId target) { return arc.to < target; });
+  GPSSN_CHECK(it != arcs.end() && it->to == to &&
+              "missing unpack arc: hierarchy is inconsistent");
+  return *it;
+}
 
-  // Simulates contracting v: counts (and optionally emits) the shortcuts
-  // it would need.
-  auto shortcuts_for = [&](VertexId v, bool emit) {
-    int count = 0;
-    std::vector<std::pair<VertexId, double>> neighbors;
-    for (const auto& [u, w] : adj[v]) {
-      if (!contracted[u]) neighbors.emplace_back(u, w);
-    }
-    for (size_t i = 0; i < neighbors.size(); ++i) {
-      for (size_t j = i + 1; j < neighbors.size(); ++j) {
-        const auto [a, wa] = neighbors[i];
-        const auto [b, wb] = neighbors[j];
-        const double through = wa + wb;
-        const double alt =
-            witness.Run(adj, contracted, a, b, v, through,
-                        options_.witness_hop_limit,
-                        options_.witness_settle_limit);
-        if (alt <= through) continue;  // Witness path found: no shortcut.
-        ++count;
-        if (emit) {
-          auto relax = [](std::unordered_map<VertexId, double>* m,
-                          VertexId key, double weight) {
-            auto it = m->find(key);
-            if (it == m->end() || weight < it->second) {
-              (*m)[key] = weight;
-              return true;
-            }
-            return false;
-          };
-          const bool fresh = relax(&adj[a], b, through);
-          relax(&adj[b], a, through);
-          if (fresh) {
-            all_edges.emplace_back(a, b, through);
-            ++num_shortcuts_;
-          }
-        }
-      }
-    }
-    return count;
-  };
-
-  auto priority = [&](VertexId v) {
-    int degree = 0;
-    for (const auto& [u, w] : adj[v]) {
-      (void)w;
-      if (!contracted[u]) ++degree;
-    }
-    return shortcuts_for(v, /*emit=*/false) - degree + deleted_neighbors[v];
-  };
-
-  // Lazy-update priority queue over (priority, vertex).
-  std::priority_queue<std::pair<int, VertexId>,
-                      std::vector<std::pair<int, VertexId>>, std::greater<>>
-      queue;
-  for (VertexId v = 0; v < n; ++v) queue.push({priority(v), v});
-
-  int next_rank = 0;
-  while (!queue.empty()) {
-    const auto [p, v] = queue.top();
-    queue.pop();
-    if (contracted[v]) continue;
-    // Lazy update: re-evaluate; requeue when stale.
-    const int fresh = priority(v);
-    if (!queue.empty() && fresh > queue.top().first) {
-      queue.push({fresh, v});
+double ChPathUnpacker::Accumulate(VertexId from, VertexId to,
+                                  const ContractionHierarchy::UpArc& arc,
+                                  double acc) {
+  stack_.clear();
+  stack_.push_back(Frame{from, to, &arc});
+  while (!stack_.empty()) {
+    const Frame f = stack_.back();
+    stack_.pop_back();
+    if (f.arc->middle == kInvalidVertex) {
+      acc += f.arc->weight;
       continue;
     }
-    shortcuts_for(v, /*emit=*/true);
-    contracted[v] = true;
-    rank_[v] = next_rank++;
-    for (const auto& [u, w] : adj[v]) {
-      (void)w;
-      if (!contracted[u]) ++deleted_neighbors[u];
-    }
+    const VertexId m = f.arc->middle;
+    // Both halves live in up(m): m was contracted before either endpoint.
+    // Push the far half first so the `from` half pops (and accumulates)
+    // first — weights are added strictly in travel order.
+    stack_.push_back(Frame{m, f.to, &ch_->UpArcBetween(m, f.to)});
+    stack_.push_back(Frame{f.from, m, &ch_->UpArcBetween(m, f.from)});
   }
-
-  // Upward graph: every surviving edge points from the lower-ranked to the
-  // higher-ranked endpoint; keep the minimum weight per (from, to).
-  std::vector<std::unordered_map<VertexId, double>> up_min(n);
-  for (const auto& [u, v, w] : all_edges) {
-    const VertexId lo = rank_[u] < rank_[v] ? u : v;
-    const VertexId hi = lo == u ? v : u;
-    auto it = up_min[lo].find(hi);
-    if (it == up_min[lo].end() || w < it->second) up_min[lo][hi] = w;
-  }
-  for (VertexId v = 0; v < n; ++v) {
-    up_[v].reserve(up_min[v].size());
-    for (const auto& [to, w] : up_min[v]) up_[v].push_back(UpArc{to, w});
-  }
+  return acc;
 }
 
 ChQuery::ChQuery(const ContractionHierarchy* ch) : ch_(ch) {

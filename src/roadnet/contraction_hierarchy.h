@@ -6,7 +6,33 @@
 // paths) and answers point-to-point queries with a bidirectional upward
 // search touching only a tiny fraction of the graph.
 //
-// This is the substrate a production deployment of GP-SSN would use for the
+// Construction is ROUND-BASED: each round recomputes priorities for dirty
+// vertices, selects the priority-local-minima (an independent set — no two
+// selected vertices are adjacent), simulates every selected contraction
+// with witness searches that treat ALL round-selected vertices as removed,
+// and applies the results serially in vertex-id order. Because selection
+// and simulation are pure functions of the round-start graph, the rounds
+// are data-parallel: with a TaskScheduler in ChOptions the priority /
+// selection / simulation phases fan out as morsel chunks, and the built
+// hierarchy is BITWISE IDENTICAL at every worker count (the serial path
+// runs the same rounds on one lane).
+//
+// Witness searches skipping the whole selected set is what makes
+// simultaneous contraction sound: a witness path found this round avoids
+// every vertex removed this round, so it survives in the remaining graph
+// and the usual one-at-a-time distance-preservation argument applies
+// unchanged (skipping extra vertices can only add redundant shortcuts,
+// never lose a needed one).
+//
+// The preprocessed arrays (rank permutation + CSR upward graph) live
+// behind spans over a shared payload, so a hierarchy can be backed either
+// by vectors built in-process or by a read-only file mapping
+// (roadnet/index_io.h) with zero copies. Shortcut arcs record their
+// contracted middle vertex, which lets the range engine (roadnet/
+// ch_range.h) unpack any upward path into its original edges and
+// reproduce bounded Dijkstra's exact floating-point label accumulation.
+//
+// This is the substrate a production deployment of GP-SSN uses for the
 // exact maxdist evaluations of the refinement phase on continental road
 // networks; the library's default Dijkstra engine remains the reference
 // implementation (and the two are equivalence-tested against each other).
@@ -15,12 +41,18 @@
 #define GPSSN_ROADNET_CONTRACTION_HIERARCHY_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
 #include <vector>
 
+#include "common/macros.h"
 #include "roadnet/road_graph.h"
 #include "roadnet/shortest_path.h"
 
 namespace gpssn {
+
+class TaskScheduler;
 
 struct ChOptions {
   /// Hop limit of the witness searches during contraction (higher = fewer
@@ -28,20 +60,53 @@ struct ChOptions {
   int witness_hop_limit = 8;
   /// Settled-vertex budget per witness search.
   int witness_settle_limit = 64;
+  /// Optional scheduler for morselized parallel construction. nullptr
+  /// builds serially. The hierarchy is bitwise identical either way.
+  TaskScheduler* scheduler = nullptr;
+  /// Cap on concurrent build lanes (0 = scheduler workers + caller).
+  int build_max_lanes = 0;
+  /// CH backend: also build the ball/range index (roadnet/ch_range.h) so
+  /// B(o, r) queries run on the hierarchy instead of bounded Dijkstra.
+  bool build_ball_index = true;
+  /// Largest ball radius the range index serves (kInfDistance = any
+  /// radius). Bounding it shrinks the index's backward search spaces.
+  double ball_index_max_radius = kInfDistance;
 };
 
 /// Preprocessed hierarchy. Build once (seconds for 10^5-vertex graphs),
-/// then query from any number of ChQuery engines.
+/// then query from any number of ChQuery engines. Copyable: copies share
+/// the (immutable) preprocessed payload.
 class ContractionHierarchy {
  public:
+  /// Upward arc: original road edge (middle == kInvalidVertex) or shortcut
+  /// bypassing its contracted `middle` vertex. Fixed-width and trivially
+  /// copyable — this struct is stored verbatim in index files and read
+  /// back through mmap (see roadnet/index_io.h).
+  // gpssn-serialized(bytes=16)
+  struct UpArc {
+    VertexId to = kInvalidVertex;
+    VertexId middle = kInvalidVertex;
+    double weight = 0.0;
+  };
+
   ContractionHierarchy() : ContractionHierarchy(ChOptions{}) {}
   explicit ContractionHierarchy(ChOptions options);
 
   /// Preprocesses `graph` (kept by pointer; must outlive the hierarchy).
   void Build(const RoadNetwork* graph);
 
+  /// Internal (index_io): wraps already-preprocessed storage, e.g. spans
+  /// into a file mapping. `payload` keeps the spans' backing memory alive;
+  /// `graph` must outlive the hierarchy.
+  static ContractionHierarchy AdoptStorage(
+      const RoadNetwork* graph, const ChOptions& options,
+      std::span<const int32_t> rank, std::span<const int64_t> up_offsets,
+      std::span<const UpArc> up_arcs, int num_shortcuts,
+      std::shared_ptr<const void> payload);
+
   bool built() const { return graph_ != nullptr; }
   const RoadNetwork& graph() const { return *graph_; }
+  const ChOptions& options() const { return options_; }
 
   /// Contraction rank of a vertex (higher = more important).
   int rank(VertexId v) const { return rank_[v]; }
@@ -49,22 +114,75 @@ class ContractionHierarchy {
   /// Number of shortcut edges added during preprocessing.
   int num_shortcuts() const { return num_shortcuts_; }
 
+  /// Number of contraction rounds the build ran (0 for adopted storage).
+  int build_rounds() const { return build_rounds_; }
+
   /// Upward adjacency (arcs from v to higher-ranked vertices, original or
-  /// shortcut), used by the query engine.
-  struct UpArc {
-    VertexId to;
-    double weight;
-  };
-  const std::vector<UpArc>& up(VertexId v) const { return up_[v]; }
+  /// shortcut), sorted by target id; used by the query engines.
+  std::span<const UpArc> up(VertexId v) const {
+    return up_arcs_.subspan(
+        static_cast<size_t>(up_offsets_[v]),
+        static_cast<size_t>(up_offsets_[v + 1] - up_offsets_[v]));
+  }
+
+  /// Flat storage views (serialization + arc-indexed traversals).
+  std::span<const int32_t> ranks() const { return rank_; }
+  std::span<const int64_t> up_offsets() const { return up_offsets_; }
+  std::span<const UpArc> up_arcs() const { return up_arcs_; }
+
+  /// The upward arc connecting `from` and `to`, where rank(from) <
+  /// rank(to). Every shortcut's two halves are present by construction, so
+  /// unpacking can always resolve them.
+  const UpArc& UpArcBetween(VertexId from, VertexId to) const;
 
  private:
   friend class ChQuery;
 
+  struct OwnedStorage {
+    std::vector<int32_t> rank;
+    std::vector<int64_t> up_offsets;
+    std::vector<UpArc> up_arcs;
+  };
+  void AdoptOwned(OwnedStorage owned);
+
   ChOptions options_;
   const RoadNetwork* graph_ = nullptr;
-  std::vector<int> rank_;
-  std::vector<std::vector<UpArc>> up_;
+  std::span<const int32_t> rank_;
+  std::span<const int64_t> up_offsets_;
+  std::span<const UpArc> up_arcs_;
+  // Keeps the span targets alive: OwnedStorage for in-process builds, a
+  // MappedFile for index files loaded by roadnet/index_io.
+  std::shared_ptr<const void> payload_;
   int num_shortcuts_ = 0;
+  int build_rounds_ = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<ContractionHierarchy::UpArc>,
+              "UpArc is stored verbatim in index files");
+static_assert(sizeof(ContractionHierarchy::UpArc) == 16,
+              "UpArc file layout is fixed at 16 bytes");
+
+/// Unpacks (possibly shortcut) upward arcs into their original road edges,
+/// accumulating edge weights one at a time in travel order — the exact
+/// floating-point association bounded Dijkstra uses when it relaxes the
+/// same path edge by edge. Reusable scratch; one per thread.
+class ChPathUnpacker {
+ public:
+  explicit ChPathUnpacker(const ContractionHierarchy* ch) : ch_(ch) {}
+
+  /// Returns `acc` + the original-edge weights of the arc between `from`
+  /// and `to`, added left-to-right starting from the `from` side.
+  double Accumulate(VertexId from, VertexId to,
+                    const ContractionHierarchy::UpArc& arc, double acc);
+
+ private:
+  struct Frame {
+    VertexId from;
+    VertexId to;
+    const ContractionHierarchy::UpArc* arc;
+  };
+  const ContractionHierarchy* ch_;
+  std::vector<Frame> stack_;
 };
 
 /// Query engine over a built hierarchy. Reusable arenas; not thread-safe

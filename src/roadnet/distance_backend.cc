@@ -4,6 +4,8 @@
 #include <cstdint>
 
 #include "common/macros.h"
+#include "roadnet/ch_range.h"
+#include "roadnet/index_io.h"
 
 namespace gpssn {
 
@@ -94,8 +96,10 @@ class DijkstraBackend final : public DistanceBackend {
 class ChDistanceEngine final : public DistanceEngine {
  public:
   ChDistanceEngine(const ContractionHierarchy* ch,
-                   const std::vector<Poi>* pois)
+                   const std::vector<Poi>* pois,
+                   const ChBallIndex* ball_index)
       : ch_(ch),
+        pois_(pois),
         graph_(&ch->graph()),
         dijkstra_(graph_),
         locator_(graph_, pois),
@@ -104,6 +108,10 @@ class ChDistanceEngine final : public DistanceEngine {
     dist_.resize(n, kInfDistance);
     stamp_.resize(n, 0);
     buckets_.resize(n);
+    if (ball_index != nullptr) {
+      range_ = std::make_unique<ChRangeEngine>(ball_index);
+      range_max_radius_ = ball_index->max_radius();
+    }
   }
 
   DistanceBackendKind kind() const override {
@@ -119,9 +127,15 @@ class ChDistanceEngine final : public DistanceEngine {
 
   std::vector<std::pair<PoiId, double>> BallWithDistances(
       const EdgePosition& center, double radius) override {
-    // Balls are radius-bounded local searches; bounded Dijkstra already
-    // touches only the ball's neighbourhood, so CH has nothing to add.
+    if (BallUsesRangeEngine(radius)) {
+      return range_->BallWithDistances(center, radius, locator_, *pois_);
+    }
+    // No index (or radius beyond its bound): the reference bounded search.
     return locator_.BallWithDistances(center, radius, &dijkstra_);
+  }
+
+  bool BallUsesRangeEngine(double radius) const override {
+    return range_ != nullptr && radius <= range_max_radius_;
   }
 
   void SetTargets(std::span<const EdgePosition> targets) override {
@@ -204,10 +218,13 @@ class ChDistanceEngine final : public DistanceEngine {
   }
 
   const ContractionHierarchy* ch_;
+  const std::vector<Poi>* pois_;
   const RoadNetwork* graph_;
-  DijkstraEngine dijkstra_;  // Radius-bounded ball queries.
+  DijkstraEngine dijkstra_;  // Fallback radius-bounded ball queries.
   PoiLocator locator_;
   ChQuery p2p_;
+  std::unique_ptr<ChRangeEngine> range_;  // Ball queries via the CH index.
+  double range_max_radius_ = 0.0;
 
   // Upward-search arena (shared by target and source searches).
   std::vector<double> dist_;
@@ -224,10 +241,35 @@ class ChDistanceEngine final : public DistanceEngine {
 class ChBackend final : public DistanceBackend {
  public:
   ChBackend(const RoadNetwork* graph, const std::vector<Poi>* pois,
-            const ChOptions& options)
-      : pois_(pois), ch_(options) {
+            const ChOptions& options, const std::string& index_path) {
     GPSSN_CHECK(graph != nullptr && pois != nullptr);
-    ch_.Build(graph);
+    pois_ = pois;
+    // Load path: a saved index is only trusted when it checksums clean AND
+    // was built from this exact graph.
+    if (!index_path.empty()) {
+      Result<RoadIndexBundle> loaded = LoadRoadIndex(index_path);
+      if (loaded.ok() &&
+          RoadNetworkFingerprint(*loaded.value().graph) ==
+              RoadNetworkFingerprint(*graph)) {
+        bundle_ = std::move(loaded.value());
+        ch_ = bundle_.ch;
+        loaded_from_disk_ = true;
+      }
+    }
+    if (ch_ == nullptr) {
+      auto built = std::make_shared<ContractionHierarchy>(options);
+      built->Build(graph);
+      if (!index_path.empty()) {
+        // Best effort: a failed save just means the next start rebuilds.
+        SaveRoadIndex(*graph, *built, index_path).ok();
+      }
+      ch_ = std::move(built);
+    }
+    if (options.build_ball_index) {
+      ball_index_ = std::make_unique<ChBallIndex>(
+          ch_.get(), pois, options.ball_index_max_radius, options.scheduler,
+          options.build_max_lanes);
+    }
   }
 
   DistanceBackendKind kind() const override {
@@ -236,12 +278,23 @@ class ChBackend final : public DistanceBackend {
   const char* name() const override { return "ch-bucket"; }
 
   std::unique_ptr<DistanceEngine> CreateEngine() const override {
-    return std::make_unique<ChDistanceEngine>(&ch_, pois_);
+    return std::make_unique<ChDistanceEngine>(ch_.get(), pois_,
+                                              ball_index_.get());
   }
 
+  void NotifyPoisMutated() override {
+    if (ball_index_ != nullptr) ball_index_->AppendNewPois();
+    DistanceBackend::NotifyPoisMutated();
+  }
+
+  bool loaded_from_disk() const override { return loaded_from_disk_; }
+
  private:
-  const std::vector<Poi>* pois_;
-  ContractionHierarchy ch_;
+  const std::vector<Poi>* pois_ = nullptr;
+  RoadIndexBundle bundle_;  // Keeps a loaded mapping (and graph) alive.
+  std::shared_ptr<const ContractionHierarchy> ch_;
+  std::unique_ptr<ChBallIndex> ball_index_;
+  bool loaded_from_disk_ = false;
 };
 
 }  // namespace
@@ -253,8 +306,9 @@ std::unique_ptr<DistanceBackend> MakeDijkstraBackend(
 
 std::unique_ptr<DistanceBackend> MakeChBackend(const RoadNetwork* graph,
                                                const std::vector<Poi>* pois,
-                                               const ChOptions& options) {
-  return std::make_unique<ChBackend>(graph, pois, options);
+                                               const ChOptions& options,
+                                               const std::string& index_path) {
+  return std::make_unique<ChBackend>(graph, pois, options, index_path);
 }
 
 }  // namespace gpssn

@@ -21,8 +21,11 @@
 #ifndef GPSSN_ROADNET_DISTANCE_BACKEND_H_
 #define GPSSN_ROADNET_DISTANCE_BACKEND_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -54,10 +57,19 @@ class DistanceEngine {
                                     const EdgePosition& b, double bound) = 0;
 
   /// All POIs with dist_RN(center, poi) <= radius, with exact distances.
-  /// Radius-bounded local searches are Dijkstra-optimal, so both backends
-  /// answer this with the bounded engine.
+  /// The Dijkstra backend answers with the reference bounded search; the
+  /// CH backend answers from its ball/range index (bit-exact against the
+  /// reference) whenever the radius is covered, falling back to bounded
+  /// Dijkstra otherwise.
   virtual std::vector<std::pair<PoiId, double>> BallWithDistances(
       const EdgePosition& center, double radius) = 0;
+
+  /// True when BallWithDistances(center, radius) would be answered by the
+  /// CH range index rather than bounded Dijkstra (stats introspection).
+  virtual bool BallUsesRangeEngine(double radius) const {
+    (void)radius;
+    return false;
+  }
 
   /// Registers the target positions for subsequent SourceToTargets calls.
   /// The CH engine runs one backward upward search per target here,
@@ -89,6 +101,28 @@ class DistanceBackend {
   virtual DistanceBackendKind kind() const = 0;
   virtual const char* name() const = 0;
   virtual std::unique_ptr<DistanceEngine> CreateEngine() const = 0;
+
+  /// Generation counter bumped by NotifyPoisMutated. Engines are bound to
+  /// the generation they were created under; a holder that caches an
+  /// engine must recreate it when the backend's generation moves on.
+  uint64_t poi_generation() const {
+    return poi_generation_.load(std::memory_order_acquire);
+  }
+
+  /// Must be called (with queries quiesced) after POIs are appended to the
+  /// backing vector. The base bumps the generation; the CH backend first
+  /// folds the new POIs into its ball/range index so freshly created
+  /// engines see them.
+  virtual void NotifyPoisMutated() {
+    poi_generation_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// True when the preprocessed index was loaded from an index file
+  /// rather than built in-process (see MakeChBackend's index_path).
+  virtual bool loaded_from_disk() const { return false; }
+
+ private:
+  std::atomic<uint64_t> poi_generation_{0};
 };
 
 /// The reference backend: bounded Dijkstra with reusable arenas. Engines
@@ -97,12 +131,20 @@ std::unique_ptr<DistanceBackend> MakeDijkstraBackend(
     const RoadNetwork* graph, const std::vector<Poi>* pois);
 
 /// The CH-accelerated backend. Builds a ContractionHierarchy once
-/// (seconds for 10^5-vertex graphs); engines answer SourceToTargets with
-/// the bucket many-to-many algorithm and PositionToPosition with the
-/// bidirectional upward search.
-std::unique_ptr<DistanceBackend> MakeChBackend(const RoadNetwork* graph,
-                                               const std::vector<Poi>* pois,
-                                               const ChOptions& options = {});
+/// (seconds for 10^5-vertex graphs; pass a scheduler in `options` for the
+/// morselized parallel build); engines answer SourceToTargets with the
+/// bucket many-to-many algorithm, PositionToPosition with the
+/// bidirectional upward search, and BallWithDistances from the CH range
+/// index (when enabled and the radius is covered).
+///
+/// When `index_path` is non-empty, the backend tries to mmap a previously
+/// saved graph+CH index from that file (validating its checksums and that
+/// its fingerprint matches `graph`); on any mismatch it rebuilds from
+/// `graph` and best-effort saves the result back to `index_path`. The
+/// ball index is always built in-process (it depends on the POI set).
+std::unique_ptr<DistanceBackend> MakeChBackend(
+    const RoadNetwork* graph, const std::vector<Poi>* pois,
+    const ChOptions& options = {}, const std::string& index_path = {});
 
 }  // namespace gpssn
 

@@ -1,0 +1,299 @@
+#include "roadnet/index_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/pagestore.h"
+
+namespace gpssn {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t Fnv1a(const void* data, size_t len, uint64_t hash = kFnvOffset) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+size_t AlignUp8(size_t x) { return (x + 7) & ~size_t{7}; }
+
+struct SectionPayload {
+  IndexSectionKind kind;
+  const void* data;
+  size_t bytes;
+  size_t count;
+};
+
+// Keeps everything the adopted hierarchy's spans point into alive: the
+// file mapping plus the materialized graph the hierarchy references.
+struct LoadedIndexPayload {
+  MappedFile file;
+  std::shared_ptr<const RoadNetwork> graph;
+};
+
+}  // namespace
+
+uint64_t RoadNetworkFingerprint(const RoadNetwork& graph) {
+  const int64_t n = graph.num_vertices();
+  const int64_t m = graph.num_edges();
+  uint64_t hash = Fnv1a(&n, sizeof(n));
+  hash = Fnv1a(&m, sizeof(m), hash);
+  hash = Fnv1a(graph.points().data(), graph.points().size_bytes(), hash);
+  hash = Fnv1a(graph.edge_sources().data(), graph.edge_sources().size_bytes(),
+               hash);
+  hash = Fnv1a(graph.edge_targets().data(), graph.edge_targets().size_bytes(),
+               hash);
+  hash = Fnv1a(graph.edge_weights().data(), graph.edge_weights().size_bytes(),
+               hash);
+  return hash;
+}
+
+Status SaveRoadIndex(const RoadNetwork& graph, const ContractionHierarchy& ch,
+                     const std::string& path) {
+  if (!ch.built() || &ch.graph() != &graph) {
+    return Status::InvalidArgument(
+        "SaveRoadIndex: hierarchy was not built over the given graph");
+  }
+  const IndexMeta meta{
+      graph.num_vertices(),
+      graph.num_edges(),
+      ch.num_shortcuts(),
+      ch.options().witness_hop_limit,
+      ch.options().witness_settle_limit,
+      RoadNetworkFingerprint(graph),
+  };
+  const SectionPayload sections[] = {
+      {IndexSectionKind::kPoints, graph.points().data(),
+       graph.points().size_bytes(), graph.points().size()},
+      {IndexSectionKind::kEdgeU, graph.edge_sources().data(),
+       graph.edge_sources().size_bytes(), graph.edge_sources().size()},
+      {IndexSectionKind::kEdgeV, graph.edge_targets().data(),
+       graph.edge_targets().size_bytes(), graph.edge_targets().size()},
+      {IndexSectionKind::kEdgeW, graph.edge_weights().data(),
+       graph.edge_weights().size_bytes(), graph.edge_weights().size()},
+      {IndexSectionKind::kChRank, ch.ranks().data(), ch.ranks().size_bytes(),
+       ch.ranks().size()},
+      {IndexSectionKind::kChUpOffsets, ch.up_offsets().data(),
+       ch.up_offsets().size_bytes(), ch.up_offsets().size()},
+      {IndexSectionKind::kChUpArcs, ch.up_arcs().data(),
+       ch.up_arcs().size_bytes(), ch.up_arcs().size()},
+      {IndexSectionKind::kMeta, &meta, sizeof(meta), 1},
+  };
+  constexpr size_t kNumSections = sizeof(sections) / sizeof(sections[0]);
+
+  // Lay out: header, section table, 8-byte-aligned payloads.
+  std::vector<IndexSectionEntry> table(kNumSections);
+  size_t offset =
+      sizeof(IndexFileHeader) + kNumSections * sizeof(IndexSectionEntry);
+  for (size_t i = 0; i < kNumSections; ++i) {
+    offset = AlignUp8(offset);
+    table[i].kind = static_cast<uint32_t>(sections[i].kind);
+    table[i].offset = offset;
+    table[i].bytes = sections[i].bytes;
+    table[i].count = sections[i].count;
+    table[i].checksum = Fnv1a(sections[i].data, sections[i].bytes);
+    offset += sections[i].bytes;
+  }
+  const size_t file_bytes = offset;
+
+  IndexFileHeader header;
+  std::memcpy(header.magic, kRoadIndexMagic, sizeof(header.magic));
+  header.version = kRoadIndexVersion;
+  header.num_sections = kNumSections;
+  header.file_bytes = file_bytes;
+  header.table_checksum =
+      Fnv1a(table.data(), table.size() * sizeof(IndexSectionEntry));
+
+  std::vector<uint8_t> buffer(file_bytes, 0);
+  std::memcpy(buffer.data(), &header, sizeof(header));
+  std::memcpy(buffer.data() + sizeof(header), table.data(),
+              table.size() * sizeof(IndexSectionEntry));
+  for (size_t i = 0; i < kNumSections; ++i) {
+    if (sections[i].bytes > 0) {
+      std::memcpy(buffer.data() + table[i].offset, sections[i].data,
+                  sections[i].bytes);
+    }
+  }
+
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + tmp_path + " for writing");
+  }
+  const size_t written = std::fwrite(buffer.data(), 1, buffer.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != buffer.size() || !flushed) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("short write to " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot rename " + tmp_path + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<RoadIndexBundle> LoadRoadIndex(const std::string& path) {
+  GPSSN_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  const uint8_t* base = file.data();
+  const size_t size = file.size();
+  if (size < sizeof(IndexFileHeader)) {
+    return Status::IoError("truncated road index file: " + path);
+  }
+  IndexFileHeader header;
+  std::memcpy(&header, base, sizeof(header));
+  if (std::memcmp(header.magic, kRoadIndexMagic, sizeof(header.magic)) != 0) {
+    return Status::IoError("corrupted road index file (bad magic): " + path);
+  }
+  if (header.version != kRoadIndexVersion) {
+    return Status::IoError("unsupported road-index version " +
+                           std::to_string(header.version) + ": " + path);
+  }
+  if (header.file_bytes != size) {
+    return Status::IoError("truncated road index file: " + path);
+  }
+  const size_t table_bytes =
+      static_cast<size_t>(header.num_sections) * sizeof(IndexSectionEntry);
+  if (sizeof(header) + table_bytes > size) {
+    return Status::IoError("truncated road index file: " + path);
+  }
+  std::vector<IndexSectionEntry> table(header.num_sections);
+  std::memcpy(table.data(), base + sizeof(header), table_bytes);
+  if (Fnv1a(table.data(), table_bytes) != header.table_checksum) {
+    return Status::IoError("corrupted road index file (section table): " +
+                           path);
+  }
+  const IndexSectionEntry* by_kind[16] = {};
+  for (const IndexSectionEntry& entry : table) {
+    if (entry.offset % 8 != 0 || entry.offset + entry.bytes > size) {
+      return Status::IoError("truncated road index file: " + path);
+    }
+    if (Fnv1a(base + entry.offset, entry.bytes) != entry.checksum) {
+      return Status::IoError("corrupted road index file (section " +
+                             std::to_string(entry.kind) + "): " + path);
+    }
+    if (entry.kind < 16) by_kind[entry.kind] = &entry;
+  }
+  auto section = [&](IndexSectionKind kind) {
+    return by_kind[static_cast<uint32_t>(kind)];
+  };
+  for (const IndexSectionKind kind :
+       {IndexSectionKind::kPoints, IndexSectionKind::kEdgeU,
+        IndexSectionKind::kEdgeV, IndexSectionKind::kEdgeW,
+        IndexSectionKind::kChRank, IndexSectionKind::kChUpOffsets,
+        IndexSectionKind::kChUpArcs, IndexSectionKind::kMeta}) {
+    if (section(kind) == nullptr) {
+      return Status::IoError("corrupted road index file (missing section " +
+                             std::to_string(static_cast<uint32_t>(kind)) +
+                             "): " + path);
+    }
+  }
+  const IndexSectionEntry& meta_entry = *section(IndexSectionKind::kMeta);
+  if (meta_entry.bytes != sizeof(IndexMeta)) {
+    return Status::IoError("corrupted road index file (meta size): " + path);
+  }
+  IndexMeta meta;
+  std::memcpy(&meta, base + meta_entry.offset, sizeof(meta));
+  const int64_t n = meta.num_vertices;
+  const int64_t m = meta.num_edges;
+  auto check_counts = [&](IndexSectionKind kind, size_t elem_bytes,
+                          uint64_t expected_count) {
+    const IndexSectionEntry& entry = *section(kind);
+    return entry.count == expected_count &&
+           entry.bytes == expected_count * elem_bytes;
+  };
+  if (n < 0 || m < 0 ||
+      !check_counts(IndexSectionKind::kPoints, sizeof(Point), n) ||
+      !check_counts(IndexSectionKind::kEdgeU, sizeof(VertexId), m) ||
+      !check_counts(IndexSectionKind::kEdgeV, sizeof(VertexId), m) ||
+      !check_counts(IndexSectionKind::kEdgeW, sizeof(double), m) ||
+      !check_counts(IndexSectionKind::kChRank, sizeof(int32_t), n) ||
+      !check_counts(IndexSectionKind::kChUpOffsets, sizeof(int64_t), n + 1)) {
+    return Status::IoError("corrupted road index file (section counts): " +
+                           path);
+  }
+
+  // Materialize the graph (its CSR adjacency must be rebuilt regardless).
+  auto copy_array = [&](IndexSectionKind kind, auto* out) {
+    const IndexSectionEntry& entry = *section(kind);
+    out->resize(entry.count);
+    if (entry.bytes > 0) {
+      std::memcpy(out->data(), base + entry.offset, entry.bytes);
+    }
+  };
+  std::vector<Point> points;
+  std::vector<VertexId> edge_u, edge_v;
+  std::vector<double> edge_w;
+  copy_array(IndexSectionKind::kPoints, &points);
+  copy_array(IndexSectionKind::kEdgeU, &edge_u);
+  copy_array(IndexSectionKind::kEdgeV, &edge_v);
+  copy_array(IndexSectionKind::kEdgeW, &edge_w);
+  for (int64_t e = 0; e < m; ++e) {
+    if (edge_u[e] < 0 || edge_u[e] >= n || edge_v[e] < 0 || edge_v[e] >= n ||
+        edge_u[e] == edge_v[e]) {
+      return Status::IoError("corrupted road index file (edge endpoints): " +
+                             path);
+    }
+  }
+  auto payload = std::make_shared<LoadedIndexPayload>();
+  payload->graph = std::make_shared<RoadNetwork>(RoadNetwork::FromParts(
+      std::move(points), std::move(edge_u), std::move(edge_v),
+      std::move(edge_w)));
+  if (RoadNetworkFingerprint(*payload->graph) != meta.graph_fingerprint) {
+    return Status::IoError("corrupted road index file (graph fingerprint): " +
+                           path);
+  }
+
+  // The hierarchy's arrays alias the mapping — move it into the payload
+  // AFTER the last use of `base` derived pointers is re-derived below.
+  const IndexSectionEntry& rank_entry = *section(IndexSectionKind::kChRank);
+  const IndexSectionEntry& offs_entry =
+      *section(IndexSectionKind::kChUpOffsets);
+  const IndexSectionEntry& arcs_entry = *section(IndexSectionKind::kChUpArcs);
+  if (arcs_entry.bytes !=
+      arcs_entry.count * sizeof(ContractionHierarchy::UpArc)) {
+    return Status::IoError("corrupted road index file (section counts): " +
+                           path);
+  }
+  payload->file = std::move(file);
+  const uint8_t* mapped = payload->file.data();
+  const std::span<const int32_t> rank(
+      reinterpret_cast<const int32_t*>(mapped + rank_entry.offset),
+      static_cast<size_t>(rank_entry.count));
+  const std::span<const int64_t> up_offsets(
+      reinterpret_cast<const int64_t*>(mapped + offs_entry.offset),
+      static_cast<size_t>(offs_entry.count));
+  const std::span<const ContractionHierarchy::UpArc> up_arcs(
+      reinterpret_cast<const ContractionHierarchy::UpArc*>(mapped +
+                                                           arcs_entry.offset),
+      static_cast<size_t>(arcs_entry.count));
+  if (n > 0 &&
+      (up_offsets[0] != 0 ||
+       up_offsets[static_cast<size_t>(n)] !=
+           static_cast<int64_t>(arcs_entry.count))) {
+    return Status::IoError("corrupted road index file (CSR offsets): " + path);
+  }
+
+  ChOptions options;
+  options.witness_hop_limit = meta.witness_hop_limit;
+  options.witness_settle_limit = meta.witness_settle_limit;
+  RoadIndexBundle bundle;
+  bundle.graph = payload->graph;
+  bundle.ch = std::make_shared<ContractionHierarchy>(
+      ContractionHierarchy::AdoptStorage(
+          payload->graph.get(), options, rank, up_offsets, up_arcs,
+          static_cast<int>(meta.num_shortcuts), payload));
+  return bundle;
+}
+
+}  // namespace gpssn

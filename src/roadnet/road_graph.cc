@@ -35,6 +35,40 @@ void RoadNetwork::BoundingBox(Point* lo, Point* hi) const {
   }
 }
 
+void RoadNetwork::BuildCsr() {
+  const int n = static_cast<int>(points_.size());
+  const int m = static_cast<int>(edge_u_.size());
+  offsets_.assign(n + 1, 0);
+  for (int e = 0; e < m; ++e) {
+    ++offsets_[edge_u_[e] + 1];
+    ++offsets_[edge_v_[e] + 1];
+  }
+  for (int v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+  arcs_.resize(2 * static_cast<size_t>(m));
+  std::vector<int> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    const VertexId u = edge_u_[e], v = edge_v_[e];
+    const double w = edge_w_[e];
+    arcs_[cursor[u]++] = RoadArc{v, e, w};
+    arcs_[cursor[v]++] = RoadArc{u, e, w};
+  }
+}
+
+RoadNetwork RoadNetwork::FromParts(std::vector<Point> points,
+                                   std::vector<VertexId> edge_u,
+                                   std::vector<VertexId> edge_v,
+                                   std::vector<double> edge_w) {
+  GPSSN_CHECK(edge_u.size() == edge_v.size() &&
+              edge_u.size() == edge_w.size());
+  RoadNetwork g;
+  g.points_ = std::move(points);
+  g.edge_u_ = std::move(edge_u);
+  g.edge_v_ = std::move(edge_v);
+  g.edge_w_ = std::move(edge_w);
+  g.BuildCsr();
+  return g;
+}
+
 VertexId RoadNetworkBuilder::AddVertex(Point p) {
   points_.push_back(p);
   adjacency_.emplace_back();
@@ -77,22 +111,7 @@ RoadNetwork RoadNetworkBuilder::Build() {
   g.edge_u_ = std::move(edge_u_);
   g.edge_v_ = std::move(edge_v_);
   g.edge_w_ = std::move(edge_w_);
-  const int n = static_cast<int>(g.points_.size());
-  const int m = static_cast<int>(g.edge_u_.size());
-  g.offsets_.assign(n + 1, 0);
-  for (int e = 0; e < m; ++e) {
-    ++g.offsets_[g.edge_u_[e] + 1];
-    ++g.offsets_[g.edge_v_[e] + 1];
-  }
-  for (int v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
-  g.arcs_.resize(2 * m);
-  std::vector<int> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (EdgeId e = 0; e < m; ++e) {
-    const VertexId u = g.edge_u_[e], v = g.edge_v_[e];
-    const double w = g.edge_w_[e];
-    g.arcs_[cursor[u]++] = RoadArc{v, e, w};
-    g.arcs_[cursor[v]++] = RoadArc{u, e, w};
-  }
+  g.BuildCsr();
   *this = RoadNetworkBuilder();
   return g;
 }

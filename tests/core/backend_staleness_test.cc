@@ -1,0 +1,131 @@
+// Regression tests for backend/POI-set coherence: before the generation
+// protocol, nothing tied a DistanceBackend's preprocessed state (the CH
+// ball index, engines' cached POI locators) to AddPoi — a CH database
+// kept answering ball queries from the pre-insert POI set. Now AddPoi
+// calls DistanceBackend::NotifyPoisMutated (the CH backend folds the new
+// POIs into its ball index and bumps its generation) and every cached
+// engine is recreated at the next use.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/baseline.h"
+#include "core/database.h"
+#include "roadnet/distance_backend.h"
+#include "ssn/dataset.h"
+
+namespace gpssn {
+namespace {
+
+SyntheticSsnOptions SmallData(uint64_t seed) {
+  SyntheticSsnOptions data;
+  data.num_road_vertices = 250;
+  data.num_pois = 80;
+  data.num_users = 150;
+  data.num_topics = 15;
+  data.space_size = 20.0;
+  data.seed = seed;
+  return data;
+}
+
+GpssnBuildOptions ChBuild() {
+  GpssnBuildOptions build;
+  build.num_road_pivots = 3;
+  build.num_social_pivots = 3;
+  build.social_index.leaf_cell_size = 16;
+  build.distance_backend = DistanceBackendKind::kContractionHierarchy;
+  return build;
+}
+
+TEST(BackendStalenessTest, NotifyPoisMutatedBumpsGeneration) {
+  GpssnDatabase db(MakeSynthetic(SmallData(3)), ChBuild());
+  const DistanceBackend* backend = db.distance_backend();
+  ASSERT_NE(backend, nullptr);
+  const uint64_t before = backend->poi_generation();
+  auto id = db.AddPoi({0, 0.5}, {1});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_GT(backend->poi_generation(), before)
+      << "AddPoi did not notify the distance backend";
+}
+
+TEST(BackendStalenessTest, ChQueriesSeeInsertedPois) {
+  // Same inserts against a CH database and a Dijkstra database; after
+  // every round both must agree with the brute-force oracle (and thus
+  // with each other) — the CH ball index must not serve the stale set.
+  GpssnBuildOptions dij_build = ChBuild();
+  dij_build.distance_backend = DistanceBackendKind::kDijkstra;
+  GpssnDatabase ch_db(MakeSynthetic(SmallData(4)), ChBuild());
+  GpssnDatabase dij_db(MakeSynthetic(SmallData(4)), dij_build);
+  ASSERT_NE(ch_db.distance_backend(), nullptr);
+
+  GpssnQuery q;
+  q.issuer = 11;
+  q.tau = 3;
+  q.gamma = 0.25;
+  q.theta = 0.25;
+  q.radius = 2.0;
+
+  Rng rng(17);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      const EdgePosition pos{
+          static_cast<EdgeId>(rng.NextBounded(ch_db.ssn().road().num_edges())),
+          rng.UniformDouble()};
+      const KeywordId kw = static_cast<KeywordId>(rng.NextBounded(15));
+      auto a = ch_db.AddPoi(pos, {kw});
+      auto b = dij_db.AddPoi(pos, {kw});
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      ASSERT_EQ(a.value(), b.value());
+    }
+    auto ch_got = ch_db.Query(q);
+    auto dij_got = dij_db.Query(q);
+    ASSERT_TRUE(ch_got.ok());
+    ASSERT_TRUE(dij_got.ok());
+    const GpssnAnswer oracle = BruteForceGpssn(ch_db.ssn(), q);
+    ASSERT_EQ(ch_got->found, oracle.found) << "round " << round;
+    ASSERT_EQ(dij_got->found, oracle.found) << "round " << round;
+    if (oracle.found) {
+      EXPECT_NEAR(ch_got->max_dist, oracle.max_dist, 1e-9)
+          << "round " << round;
+      EXPECT_EQ(ch_got->users, dij_got->users) << "round " << round;
+      EXPECT_EQ(ch_got->pois, dij_got->pois) << "round " << round;
+    }
+  }
+}
+
+TEST(BackendStalenessTest, InsertedPoiOnIssuerEdgeBecomesVisible) {
+  // The sharpest form of the regression: with tau=1 the answer is the
+  // issuer's best ball; a POI opened ON the issuer's home edge must
+  // appear in post-insert ball queries served by the CH range engine.
+  GpssnDatabase db(MakeSynthetic(SmallData(5)), ChBuild());
+  GpssnQuery q;
+  q.issuer = 7;
+  q.tau = 1;
+  q.gamma = 0.0;
+  q.theta = 0.0;
+  q.radius = 1.0;
+  auto before = db.Query(q);
+  ASSERT_TRUE(before.ok());
+
+  const EdgePosition home = db.ssn().user_home(q.issuer);
+  auto id = db.AddPoi(home, {0});
+  ASSERT_TRUE(id.ok());
+
+  QueryStats stats;
+  auto after = db.Query(q, QueryOptions(), &stats);
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->found);
+  // The new facility is right at the issuer's home: it must be in the
+  // answer ball (distance 0 beats everything).
+  bool contains_new = false;
+  for (const PoiId p : after->pois) contains_new |= (p == id.value());
+  EXPECT_TRUE(contains_new)
+      << "CH ball served a stale POI set after AddPoi";
+  const GpssnAnswer oracle = BruteForceGpssn(db.ssn(), q);
+  ASSERT_EQ(after->found, oracle.found);
+  EXPECT_NEAR(after->max_dist, oracle.max_dist, 1e-9);
+}
+
+}  // namespace
+}  // namespace gpssn

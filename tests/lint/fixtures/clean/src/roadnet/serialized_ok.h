@@ -1,0 +1,35 @@
+// Fixture: conforming gpssn-serialized structs — marker plus both layout
+// static_asserts, including the qualified-name form used for nested
+// structs.
+
+#ifndef GPSSN_ROADNET_SERIALIZED_OK_H_
+#define GPSSN_ROADNET_SERIALIZED_OK_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace gpssn {
+
+// gpssn-serialized(bytes=16)
+struct DiskRecord {
+  int64_t key;
+  double value;
+};
+static_assert(std::is_trivially_copyable_v<DiskRecord>,
+              "DiskRecord is memcpy'd to and mmap'd from index files");
+static_assert(sizeof(DiskRecord) == 16, "DiskRecord layout is fixed");
+
+class Holder {
+ public:
+  // gpssn-serialized(bytes=8)
+  struct Nested {
+    uint32_t a;
+    uint32_t b;
+  };
+};
+static_assert(std::is_trivially_copyable_v<Holder::Nested>, "layout");
+static_assert(sizeof(Holder::Nested) == 8, "layout");
+
+}  // namespace gpssn
+
+#endif  // GPSSN_ROADNET_SERIALIZED_OK_H_

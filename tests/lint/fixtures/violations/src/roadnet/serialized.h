@@ -1,0 +1,37 @@
+// Fixture: serialized-struct violations — markers without the layout
+// static_asserts that make the mmap'd format safe.
+
+#ifndef GPSSN_ROADNET_SERIALIZED_H_
+#define GPSSN_ROADNET_SERIALIZED_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace gpssn {
+
+// Marker with NO asserts at all: two findings (trivially-copyable and
+// sizeof both missing).
+// gpssn-serialized(bytes=16)
+struct NoAsserts {
+  int64_t a;
+  int64_t b;
+};
+
+// Marker whose sizeof assert pins the WRONG width: one finding (the
+// trivially-copyable assert is present and counts).
+// gpssn-serialized(bytes=24)
+struct WrongWidth {
+  int64_t a;
+  int64_t b;
+  int64_t c;
+};
+static_assert(std::is_trivially_copyable_v<WrongWidth>, "layout");
+static_assert(sizeof(WrongWidth) == 16, "stale width");
+
+// Marker not followed by any struct declaration: one finding.
+// gpssn-serialized(bytes=8)
+inline int NotAStruct() { return 0; }
+
+}  // namespace gpssn
+
+#endif  // GPSSN_ROADNET_SERIALIZED_H_

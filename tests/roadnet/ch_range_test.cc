@@ -1,0 +1,259 @@
+// Bit-exactness tests for the CH range/ball engine: on random road-like
+// networks (unique Euclidean edge weights, so shortest paths are unique),
+// ChRangeEngine::BallWithDistances must return EXACTLY the reference
+// PoiLocator::BallWithDistances output — same POI ids, same distances to
+// the last bit, same order — across radii from zero through
+// whole-component, on connected and disconnected networks, before and
+// after delta appends.
+
+#include "roadnet/ch_range.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/task_scheduler.h"
+#include "roadnet/contraction_hierarchy.h"
+#include "roadnet/road_generator.h"
+
+namespace gpssn {
+namespace {
+
+std::vector<Poi> RandomPois(const RoadNetwork& g, int n, Rng* rng) {
+  std::vector<Poi> pois(n);
+  for (int i = 0; i < n; ++i) {
+    pois[i].id = i;
+    pois[i].position =
+        EdgePosition{static_cast<EdgeId>(rng->NextBounded(g.num_edges())),
+                     rng->UniformDouble()};
+    pois[i].location = g.PositionPoint(pois[i].position);
+  }
+  return pois;
+}
+
+EdgePosition RandomPosition(const RoadNetwork& g, Rng* rng) {
+  return EdgePosition{static_cast<EdgeId>(rng->NextBounded(g.num_edges())),
+                      rng->UniformDouble()};
+}
+
+void ExpectBallsBitExact(const RoadNetwork& g, const std::vector<Poi>& pois,
+                         const ChBallIndex& index, double max_radius,
+                         uint64_t seed, int centers_per_radius) {
+  DijkstraEngine dijkstra(&g);
+  PoiLocator locator(&g, &pois);
+  ChRangeEngine range(&index);
+  Rng rng(seed);
+  const double radii[] = {0.0,  1e-6, 0.3,  0.8,
+                          1.7,  3.5,  7.0,  max_radius};
+  for (const double radius : radii) {
+    if (radius > max_radius) continue;
+    for (int c = 0; c < centers_per_radius; ++c) {
+      const EdgePosition center = RandomPosition(g, &rng);
+      const auto expected = locator.BallWithDistances(center, radius,
+                                                      &dijkstra);
+      const auto actual = range.BallWithDistances(center, radius, locator,
+                                                  pois);
+      ASSERT_EQ(expected, actual)
+          << "seed " << seed << " radius " << radius << " center edge "
+          << center.edge << " t " << center.t;
+    }
+  }
+}
+
+// 20 random networks x 8 radii x 4 centers, unbounded index.
+TEST(ChRangeTest, BallBitExactOnRandomNetworks) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    RoadGenOptions gen;
+    gen.num_vertices = 150 + static_cast<int>(seed) * 13;
+    gen.seed = seed;
+    const RoadNetwork g = GenerateRoadNetwork(gen);
+    Rng rng(seed * 101 + 7);
+    const std::vector<Poi> pois = RandomPois(
+        g, 10 + static_cast<int>(seed) * 4, &rng);
+    ContractionHierarchy ch;
+    ch.Build(&g);
+    const ChBallIndex index(&ch, &pois, kInfDistance, nullptr, 1);
+    ExpectBallsBitExact(g, pois, index, 1e18, seed * 3 + 1, 4);
+  }
+}
+
+// A radius-bounded index must stay bit-exact for every radius it serves.
+TEST(ChRangeTest, BallBitExactWithBoundedIndexRadius) {
+  for (uint64_t seed = 31; seed <= 35; ++seed) {
+    RoadGenOptions gen;
+    gen.num_vertices = 320;
+    gen.seed = seed;
+    const RoadNetwork g = GenerateRoadNetwork(gen);
+    Rng rng(seed * 17);
+    const std::vector<Poi> pois = RandomPois(g, 50, &rng);
+    ContractionHierarchy ch;
+    ch.Build(&g);
+    const double max_radius = 4.0;
+    const ChBallIndex index(&ch, &pois, max_radius, nullptr, 1);
+    EXPECT_EQ(index.max_radius(), max_radius);
+    ExpectBallsBitExact(g, pois, index, max_radius, seed * 5 + 2, 4);
+  }
+}
+
+// Two far-apart components: balls never leak across, and centers whose
+// component holds no POI return empty — exactly like the reference.
+TEST(ChRangeTest, DisconnectedComponents) {
+  RoadNetworkBuilder b;
+  Rng rng(99);
+  // Component A: jittered 5x5 grid near the origin. Component B: same,
+  // offset by 1000. No edges between them.
+  const int side = 5;
+  auto add_grid = [&](double ox, double oy) {
+    const VertexId base = b.num_vertices();
+    for (int y = 0; y < side; ++y) {
+      for (int x = 0; x < side; ++x) {
+        b.AddVertex(Point{ox + x + 0.2 * rng.UniformDouble(),
+                          oy + y + 0.2 * rng.UniformDouble()});
+      }
+    }
+    for (int y = 0; y < side; ++y) {
+      for (int x = 0; x < side; ++x) {
+        const VertexId v = base + y * side + x;
+        if (x + 1 < side) {
+          ASSERT_TRUE(b.AddEdge(v, v + 1).ok());
+        }
+        if (y + 1 < side) {
+          ASSERT_TRUE(b.AddEdge(v, v + side).ok());
+        }
+      }
+    }
+  };
+  add_grid(0.0, 0.0);
+  add_grid(1000.0, 0.0);
+  const RoadNetwork g = b.Build();
+  const int edges_per_component = g.num_edges() / 2;
+
+  // POIs only in component A.
+  std::vector<Poi> pois(12);
+  for (int i = 0; i < 12; ++i) {
+    pois[i].id = i;
+    pois[i].position = EdgePosition{
+        static_cast<EdgeId>(rng.NextBounded(edges_per_component)),
+        rng.UniformDouble()};
+    pois[i].location = g.PositionPoint(pois[i].position);
+  }
+  ContractionHierarchy ch;
+  ch.Build(&g);
+  const ChBallIndex index(&ch, &pois, kInfDistance, nullptr, 1);
+  DijkstraEngine dijkstra(&g);
+  PoiLocator locator(&g, &pois);
+  ChRangeEngine range(&index);
+  for (int trial = 0; trial < 30; ++trial) {
+    const EdgePosition center = RandomPosition(g, &rng);
+    const double radius = rng.UniformDouble(0.5, 50.0);
+    const auto expected = locator.BallWithDistances(center, radius,
+                                                    &dijkstra);
+    const auto actual = range.BallWithDistances(center, radius, locator,
+                                                pois);
+    ASSERT_EQ(expected, actual) << "trial " << trial;
+    if (center.edge >= edges_per_component) {
+      EXPECT_TRUE(actual.empty()) << "ball leaked across components";
+    }
+  }
+}
+
+// Zero radius: only a POI at distance exactly 0 qualifies (center sits on
+// it), via the same-edge term.
+TEST(ChRangeTest, ZeroRadiusAtPoiPosition) {
+  RoadGenOptions gen;
+  gen.num_vertices = 200;
+  gen.seed = 77;
+  const RoadNetwork g = GenerateRoadNetwork(gen);
+  Rng rng(5);
+  std::vector<Poi> pois = RandomPois(g, 20, &rng);
+  ContractionHierarchy ch;
+  ch.Build(&g);
+  const ChBallIndex index(&ch, &pois, kInfDistance, nullptr, 1);
+  DijkstraEngine dijkstra(&g);
+  PoiLocator locator(&g, &pois);
+  ChRangeEngine range(&index);
+  for (const Poi& poi : pois) {
+    const auto expected =
+        locator.BallWithDistances(poi.position, 0.0, &dijkstra);
+    const auto actual =
+        range.BallWithDistances(poi.position, 0.0, locator, pois);
+    ASSERT_EQ(expected, actual);
+    // The POI itself is at distance 0 from its own position.
+    bool found_self = false;
+    for (const auto& [id, dist] : actual) {
+      if (id == poi.id) {
+        found_self = true;
+        EXPECT_EQ(dist, 0.0);
+      }
+    }
+    EXPECT_TRUE(found_self);
+  }
+}
+
+// Delta path: POIs appended after construction are served from delta
+// buckets, still bit-exact against a reference over the grown set.
+TEST(ChRangeTest, AppendNewPoisStaysBitExact) {
+  for (uint64_t seed = 51; seed <= 54; ++seed) {
+    RoadGenOptions gen;
+    gen.num_vertices = 260;
+    gen.seed = seed;
+    const RoadNetwork g = GenerateRoadNetwork(gen);
+    Rng rng(seed * 7 + 1);
+    std::vector<Poi> pois = RandomPois(g, 30, &rng);
+    ContractionHierarchy ch;
+    ch.Build(&g);
+    ChBallIndex index(&ch, &pois, kInfDistance, nullptr, 1);
+    EXPECT_EQ(index.indexed_pois(), pois.size());
+    EXPECT_FALSE(index.has_delta());
+
+    // Append POIs on fresh random edges (some new, some already carrying
+    // POIs), then fold them in.
+    const size_t before = pois.size();
+    for (int i = 0; i < 15; ++i) {
+      Poi p;
+      p.id = static_cast<PoiId>(pois.size());
+      p.position =
+          EdgePosition{static_cast<EdgeId>(rng.NextBounded(g.num_edges())),
+                       rng.UniformDouble()};
+      p.location = g.PositionPoint(p.position);
+      pois.push_back(p);
+    }
+    index.AppendNewPois();
+    EXPECT_EQ(index.indexed_pois(), pois.size());
+    EXPECT_GT(pois.size(), before);
+
+    ExpectBallsBitExact(g, pois, index, 1e18, seed + 1000, 5);
+  }
+}
+
+// An index built in parallel is the same index: identical ball answers.
+TEST(ChRangeTest, ParallelIndexBuildMatchesSerial) {
+  RoadGenOptions gen;
+  gen.num_vertices = 300;
+  gen.seed = 9;
+  const RoadNetwork g = GenerateRoadNetwork(gen);
+  Rng rng(42);
+  const std::vector<Poi> pois = RandomPois(g, 40, &rng);
+  ContractionHierarchy ch;
+  ch.Build(&g);
+  const ChBallIndex serial_index(&ch, &pois, kInfDistance, nullptr, 1);
+  TaskScheduler scheduler(3);
+  const ChBallIndex parallel_index(&ch, &pois, kInfDistance, &scheduler, 0);
+  ASSERT_EQ(serial_index.num_sources(), parallel_index.num_sources());
+  ChRangeEngine a(&serial_index);
+  ChRangeEngine b(&parallel_index);
+  DijkstraEngine dijkstra(&g);
+  PoiLocator locator(&g, &pois);
+  for (int trial = 0; trial < 40; ++trial) {
+    const EdgePosition center = RandomPosition(g, &rng);
+    const double radius = rng.UniformDouble(0.2, 8.0);
+    const auto expected = locator.BallWithDistances(center, radius,
+                                                    &dijkstra);
+    ASSERT_EQ(expected, a.BallWithDistances(center, radius, locator, pois));
+    ASSERT_EQ(expected, b.BallWithDistances(center, radius, locator, pois));
+  }
+}
+
+}  // namespace
+}  // namespace gpssn

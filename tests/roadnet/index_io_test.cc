@@ -1,0 +1,229 @@
+// Round-trip and corruption tests for the road-index file format: a saved
+// graph + CH must load back (through mmap) into a hierarchy that answers
+// identically to the in-process build, and damaged files — truncated,
+// bit-flipped, wrong version, wrong magic — must be rejected with the
+// matching error, never trusted.
+
+#include "roadnet/index_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "roadnet/distance_backend.h"
+#include "roadnet/road_generator.h"
+
+namespace gpssn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+RoadNetwork MakeGraph(uint64_t seed, int n = 300) {
+  RoadGenOptions gen;
+  gen.num_vertices = n;
+  gen.seed = seed;
+  return GenerateRoadNetwork(gen);
+}
+
+TEST(IndexIoTest, RoundTripIsBitIdentical) {
+  const RoadNetwork g = MakeGraph(3);
+  ContractionHierarchy ch;
+  ch.Build(&g);
+  const std::string path = TempPath("roundtrip.gpssnidx");
+  ASSERT_TRUE(SaveRoadIndex(g, ch, path).ok());
+
+  auto loaded = LoadRoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const RoadIndexBundle& bundle = loaded.value();
+
+  // Graph arrays reproduce exactly.
+  ASSERT_EQ(bundle.graph->num_vertices(), g.num_vertices());
+  ASSERT_EQ(bundle.graph->num_edges(), g.num_edges());
+  EXPECT_EQ(RoadNetworkFingerprint(*bundle.graph), RoadNetworkFingerprint(g));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    ASSERT_EQ(bundle.graph->edge_u(e), g.edge_u(e));
+    ASSERT_EQ(bundle.graph->edge_v(e), g.edge_v(e));
+    ASSERT_EQ(bundle.graph->edge_weight(e), g.edge_weight(e));
+  }
+
+  // CH arrays reproduce exactly (ranks, CSR offsets, arcs).
+  ASSERT_TRUE(bundle.ch->built());
+  EXPECT_EQ(bundle.ch->num_shortcuts(), ch.num_shortcuts());
+  ASSERT_EQ(bundle.ch->ranks().size(), ch.ranks().size());
+  for (size_t i = 0; i < ch.ranks().size(); ++i) {
+    ASSERT_EQ(bundle.ch->ranks()[i], ch.ranks()[i]);
+  }
+  ASSERT_EQ(bundle.ch->up_arcs().size(), ch.up_arcs().size());
+  for (size_t i = 0; i < ch.up_arcs().size(); ++i) {
+    ASSERT_EQ(bundle.ch->up_arcs()[i].to, ch.up_arcs()[i].to);
+    ASSERT_EQ(bundle.ch->up_arcs()[i].middle, ch.up_arcs()[i].middle);
+    ASSERT_EQ(bundle.ch->up_arcs()[i].weight, ch.up_arcs()[i].weight);
+  }
+
+  // Loaded hierarchy answers identically.
+  ChQuery built_query(&ch);
+  ChQuery loaded_query(bundle.ch.get());
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    const VertexId t = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    ASSERT_EQ(built_query.VertexToVertex(s, t),
+              loaded_query.VertexToVertex(s, t));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, RejectsWrongVersion) {
+  const RoadNetwork g = MakeGraph(5, 120);
+  ContractionHierarchy ch;
+  ch.Build(&g);
+  const std::string path = TempPath("wrong_version.gpssnidx");
+  ASSERT_TRUE(SaveRoadIndex(g, ch, path).ok());
+  std::vector<uint8_t> bytes = ReadAll(path);
+  bytes[8] = 0x7f;  // Version field (u32 after the 8-byte magic).
+  WriteAll(path, bytes);
+  auto loaded = LoadRoadIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("unsupported road-index version"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, RejectsBadMagic) {
+  const RoadNetwork g = MakeGraph(5, 120);
+  ContractionHierarchy ch;
+  ch.Build(&g);
+  const std::string path = TempPath("bad_magic.gpssnidx");
+  ASSERT_TRUE(SaveRoadIndex(g, ch, path).ok());
+  std::vector<uint8_t> bytes = ReadAll(path);
+  bytes[0] ^= 0xff;
+  WriteAll(path, bytes);
+  auto loaded = LoadRoadIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("corrupted road index file"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, RejectsTruncation) {
+  const RoadNetwork g = MakeGraph(7, 120);
+  ContractionHierarchy ch;
+  ch.Build(&g);
+  const std::string path = TempPath("truncated.gpssnidx");
+  ASSERT_TRUE(SaveRoadIndex(g, ch, path).ok());
+  std::vector<uint8_t> bytes = ReadAll(path);
+  // Chop at several depths: inside the payloads, inside the section
+  // table, inside the header.
+  for (const size_t keep :
+       {bytes.size() - 1, bytes.size() / 2, size_t{100}, size_t{16}}) {
+    WriteAll(path, std::vector<uint8_t>(bytes.begin(),
+                                        bytes.begin() + keep));
+    auto loaded = LoadRoadIndex(path);
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+    EXPECT_NE(loaded.status().message().find("truncated road index file"),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, RejectsPayloadCorruption) {
+  const RoadNetwork g = MakeGraph(9, 120);
+  ContractionHierarchy ch;
+  ch.Build(&g);
+  const std::string path = TempPath("corrupt.gpssnidx");
+  ASSERT_TRUE(SaveRoadIndex(g, ch, path).ok());
+  const std::vector<uint8_t> original = ReadAll(path);
+  // Flip one byte at several positions beyond the header; every flip must
+  // be caught by the table or section checksums.
+  for (const size_t pos : {original.size() - 3, original.size() / 2,
+                           original.size() / 3, size_t{40}}) {
+    std::vector<uint8_t> bytes = original;
+    bytes[pos] ^= 0x01;
+    WriteAll(path, bytes);
+    auto loaded = LoadRoadIndex(path);
+    ASSERT_FALSE(loaded.ok()) << "flip at " << pos << " not detected";
+    EXPECT_NE(loaded.status().message().find("corrupted road index file"),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, MissingFileIsAnError) {
+  auto loaded = LoadRoadIndex(TempPath("does_not_exist.gpssnidx"));
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST(IndexIoTest, BackendLoadsSavedIndexAndRejectsMismatchedGraph) {
+  const RoadNetwork g = MakeGraph(11, 200);
+  Rng rng(23);
+  std::vector<Poi> pois(10);
+  for (int i = 0; i < 10; ++i) {
+    pois[i].id = i;
+    pois[i].position =
+        EdgePosition{static_cast<EdgeId>(rng.NextBounded(g.num_edges())),
+                     rng.UniformDouble()};
+    pois[i].location = g.PositionPoint(pois[i].position);
+  }
+  const std::string path = TempPath("backend.gpssnidx");
+  std::remove(path.c_str());
+
+  // First construction: no file yet -> builds and saves.
+  const auto first = MakeChBackend(&g, &pois, ChOptions{}, path);
+  EXPECT_FALSE(first->loaded_from_disk());
+  // Second construction: mmap-loads the saved index.
+  const auto second = MakeChBackend(&g, &pois, ChOptions{}, path);
+  EXPECT_TRUE(second->loaded_from_disk());
+
+  // Engines from the built and loaded backends answer identically.
+  const auto e1 = first->CreateEngine();
+  const auto e2 = second->CreateEngine();
+  for (int trial = 0; trial < 20; ++trial) {
+    const EdgePosition a{static_cast<EdgeId>(rng.NextBounded(g.num_edges())),
+                         rng.UniformDouble()};
+    const EdgePosition b{static_cast<EdgeId>(rng.NextBounded(g.num_edges())),
+                         rng.UniformDouble()};
+    ASSERT_EQ(e1->PositionToPosition(a, b, kInfDistance),
+              e2->PositionToPosition(a, b, kInfDistance));
+    const double radius = rng.UniformDouble(0.3, 6.0);
+    ASSERT_EQ(e1->BallWithDistances(a, radius), e2->BallWithDistances(a, radius));
+  }
+
+  // A different graph must NOT accept the stale index.
+  const RoadNetwork other = MakeGraph(13, 200);
+  std::vector<Poi> other_pois(4);
+  for (int i = 0; i < 4; ++i) {
+    other_pois[i].id = i;
+    other_pois[i].position = EdgePosition{
+        static_cast<EdgeId>(rng.NextBounded(other.num_edges())),
+        rng.UniformDouble()};
+    other_pois[i].location = other.PositionPoint(other_pois[i].position);
+  }
+  const auto third = MakeChBackend(&other, &other_pois, ChOptions{}, path);
+  EXPECT_FALSE(third->loaded_from_disk());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gpssn
