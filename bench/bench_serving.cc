@@ -1,0 +1,161 @@
+// Sharded scatter-gather serving benchmark (PR 10): on one dataset it runs
+// the same randomized batch through
+//
+//   1. the single-node GpssnDatabase::Query loop (the reference answers),
+//   2. an in-process ServingCluster at shard counts 1, 2, and 4,
+//
+// and reports batch QPS per shard count, the 4-shard / 1-shard scaling
+// ratio, the cross-shard refine skip rate, and whether every sharded
+// answer is byte-identical to the single-node one (it must be — that is
+// the serving layer's core invariant, enforced here and by
+// tests/serving/sharded_differential_test.cc).
+//
+// scripts/bench_smoke.sh turns the JSON report into BENCH_PR10.json with a
+// core-aware acceptance gate: on >= 4 cores the 4-shard cluster must reach
+// >= 2.5x the 1-shard batch QPS; on smaller hosts only answer identity and
+// a positive skip rate are enforced (shards are threads here, so a
+// single-core box cannot exhibit scale-out).
+//
+// Environment:
+//   GPSSN_BENCH_SCALE       dataset scale (bench_util.h; default 0.1)
+//   GPSSN_BENCH_QUERIES     batch size multiplier knob (default 12 -> 96)
+//   GPSSN_BENCH_PR10_JSON   write a machine-readable report here
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "serving/coordinator.h"
+
+namespace gpssn::bench {
+namespace {
+
+constexpr int kShardCounts[] = {1, 2, 4};
+
+bool SameAnswer(const GpssnAnswer& a, const GpssnAnswer& b) {
+  if (a.found != b.found) return false;
+  if (!a.found) return true;
+  return a.users == b.users && a.center == b.center && a.pois == b.pois &&
+         std::memcmp(&a.max_dist, &b.max_dist, sizeof(a.max_dist)) == 0;
+}
+
+void Run() {
+  const BenchConfig config = GetConfig();
+  // A pipelined batch needs enough queries to keep every shard busy; the
+  // default 12-query knob scales to 96.
+  const int batch_size = config.queries * 8;
+  std::printf("=== PR 10: sharded scatter-gather serving "
+              "(scale %.2f, batch of %d) ===\n",
+              config.scale, batch_size);
+
+  auto db = BuildDatabase(MakeDataset("UNI", config.scale));
+  const GpssnQuery base = DefaultQuery();
+  Rng rng(17);
+  std::vector<GpssnQuery> batch(batch_size, base);
+  for (GpssnQuery& q : batch) {
+    q.issuer = static_cast<UserId>(rng.NextBounded(db->ssn().num_users()));
+  }
+
+  // --- 1. Single-node reference answers (and serial QPS baseline) -------
+  QueryOptions options;
+  std::vector<GpssnAnswer> reference(batch.size());
+  WallTimer timer;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto answer = db->Query(batch[i], options);
+    GPSSN_CHECK(answer.ok());
+    reference[i] = *answer;
+  }
+  const double single_node_s = timer.ElapsedSeconds();
+  const double single_node_qps =
+      single_node_s > 0.0 ? batch.size() / single_node_s : 0.0;
+  std::printf("single-node:      %7.3f s  (%.1f QPS)\n", single_node_s,
+              single_node_qps);
+
+  // --- 2. Serving cluster at each shard count ---------------------------
+  double qps[std::size(kShardCounts)] = {};
+  double skip_rate[std::size(kShardCounts)] = {};
+  uint64_t skipped[std::size(kShardCounts)] = {};
+  uint64_t refined[std::size(kShardCounts)] = {};
+  uint64_t msgs[std::size(kShardCounts)] = {};
+  bool identical = true;
+  for (size_t i = 0; i < std::size(kShardCounts); ++i) {
+    const int shards = kShardCounts[i];
+    serving::ServingOptions serving_options;
+    serving_options.num_shards = shards;
+    serving_options.query = options;
+    auto cluster = serving::ServingCluster::Create(*db, serving_options);
+    GPSSN_CHECK(cluster.ok());
+    BatchStats stats;
+    const std::vector<BatchQueryResult> results =
+        (*cluster)->QueryBatch(batch, &stats);
+    for (size_t q = 0; q < results.size(); ++q) {
+      GPSSN_CHECK(results[q].status.ok());
+      if (!SameAnswer(results[q].answer, reference[q])) {
+        std::printf("MISMATCH at query %zu (shards=%d)\n", q, shards);
+        identical = false;
+      }
+    }
+    qps[i] = stats.throughput_qps;
+    skipped[i] = stats.totals.skipped_shards;
+    refined[i] = stats.totals.refined_shards;
+    msgs[i] = stats.totals.shard_msgs;
+    const uint64_t planned = skipped[i] + refined[i];
+    skip_rate[i] =
+        planned > 0 ? static_cast<double>(skipped[i]) / planned : 0.0;
+    std::printf("cluster(%d shard%s): %7.3f s  (%.1f QPS, "
+                "refine skip-rate %.0f%%, %llu msgs)\n",
+                shards, shards == 1 ? " " : "s", stats.wall_seconds,
+                qps[i], 100.0 * skip_rate[i],
+                static_cast<unsigned long long>(msgs[i]));
+  }
+  const double scaling = qps[0] > 0.0 ? qps[2] / qps[0] : 0.0;
+  std::printf("4-shard / 1-shard QPS: %.2fx (answers identical: %s)\n",
+              scaling, identical ? "yes" : "NO");
+
+  if (const char* out = std::getenv("GPSSN_BENCH_PR10_JSON")) {
+    std::FILE* f = std::fopen(out, "w");
+    GPSSN_CHECK(f != nullptr);
+    std::fprintf(f,
+                 "{\n"
+                 "  \"batch_size\": %d,\n"
+                 "  \"single_node_qps\": %.3f,\n"
+                 "  \"shard_counts\": [1, 2, 4],\n"
+                 "  \"batch_qps\": [%.3f, %.3f, %.3f],\n"
+                 "  \"skipped_shards\": [%llu, %llu, %llu],\n"
+                 "  \"refined_shards\": [%llu, %llu, %llu],\n"
+                 "  \"shard_msgs\": [%llu, %llu, %llu],\n"
+                 "  \"refine_skip_rate\": [%.4f, %.4f, %.4f],\n"
+                 "  \"qps_scaling_4_vs_1\": %.4f,\n"
+                 "  \"answers_identical\": %s\n"
+                 "}\n",
+                 batch_size, single_node_qps, qps[0], qps[1], qps[2],
+                 static_cast<unsigned long long>(skipped[0]),
+                 static_cast<unsigned long long>(skipped[1]),
+                 static_cast<unsigned long long>(skipped[2]),
+                 static_cast<unsigned long long>(refined[0]),
+                 static_cast<unsigned long long>(refined[1]),
+                 static_cast<unsigned long long>(refined[2]),
+                 static_cast<unsigned long long>(msgs[0]),
+                 static_cast<unsigned long long>(msgs[1]),
+                 static_cast<unsigned long long>(msgs[2]), skip_rate[0],
+                 skip_rate[1], skip_rate[2], scaling,
+                 identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", out);
+  }
+  GPSSN_CHECK(identical);
+}
+
+}  // namespace
+}  // namespace gpssn::bench
+
+int main() {
+  gpssn::bench::Run();
+  return 0;
+}

@@ -105,6 +105,12 @@ void AddStats(QueryStats* total, const QueryStats& s) {
   total->exact_dist_seconds += s.exact_dist_seconds;
   total->dist_cache_row_hits += s.dist_cache_row_hits;
   total->dist_cache_row_misses += s.dist_cache_row_misses;
+  total->skipped_shards += s.skipped_shards;
+  total->refined_shards += s.refined_shards;
+  total->shard_msgs += s.shard_msgs;
+  total->serve_gather_seconds += s.serve_gather_seconds;
+  total->serve_plan_seconds += s.serve_plan_seconds;
+  total->serve_refine_seconds += s.serve_refine_seconds;
 }
 }  // namespace
 
@@ -153,7 +159,28 @@ std::string PhaseBreakdown(const Aggregate& agg) {
                                static_cast<double>(rows)
                          : 0.0,
                 static_cast<unsigned long long>(rows));
-  return buf;
+  std::string line = buf;
+  // Serving counters are all zero on the single-node path; only append the
+  // sharded-serving row when the workload actually went through a cluster.
+  if (agg.total.shard_msgs > 0) {
+    const uint64_t planned =
+        agg.total.refined_shards + agg.total.skipped_shards;
+    std::snprintf(
+        buf, sizeof(buf),
+        "\nserving(ms/query) gather=%.3f plan=%.3f refine=%.3f; "
+        "msgs/query=%.1f refine-skip-rate=%.1f%% (%llu/%llu shards)",
+        agg.total.serve_gather_seconds * 1e3 / n,
+        agg.total.serve_plan_seconds * 1e3 / n,
+        agg.total.serve_refine_seconds * 1e3 / n,
+        static_cast<double>(agg.total.shard_msgs) / n,
+        planned > 0 ? 100.0 * static_cast<double>(agg.total.skipped_shards) /
+                          static_cast<double>(planned)
+                    : 0.0,
+        static_cast<unsigned long long>(agg.total.skipped_shards),
+        static_cast<unsigned long long>(planned));
+    line += buf;
+  }
+  return line;
 }
 
 double Aggregate::SocialIndexLevelPower(int num_users) const {

@@ -69,8 +69,11 @@ struct Aggregate {
 Aggregate RunWorkload(GpssnDatabase* db, const GpssnQuery& base, int queries,
                       const QueryOptions& options, uint64_t seed);
 
-/// One-line per-phase time breakdown of an aggregate (averages per query):
-/// descent / ball / refine / exact-dist plus distance-cache row hit rate.
+/// Per-phase time breakdown of an aggregate (averages per query): descent /
+/// ball / refine / exact-dist plus distance-cache row hit rate. When the
+/// workload ran through a serving cluster (total.shard_msgs > 0) a second
+/// line reports gather / plan / refine coordinator time, messages per query,
+/// and the cross-shard refine skip rate.
 std::string PhaseBreakdown(const Aggregate& agg);
 
 /// Formats a fraction as a percentage string.

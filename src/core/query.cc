@@ -219,8 +219,12 @@ Result<GpssnAnswer> GpssnProcessor::Execute(const GpssnQuery& query,
     out->exact_dist_seconds += rerun_stats.exact_dist_seconds;
     out->dist_cache_row_hits += rerun_stats.dist_cache_row_hits;
     out->dist_cache_row_misses += rerun_stats.dist_cache_row_misses;
+    // Non-strict: on an exact objective tie the rerun's answer wins — it is
+    // the discovery-order winner over the FULL (δ-free) candidate set, the
+    // same set the sharded serving path evaluates, keeping the two paths'
+    // answers identical in the (measure-zero) tie-at-fallback case.
     if (exact.found &&
-        (!answer.found || exact.max_dist < answer.max_dist)) {
+        (!answer.found || exact.max_dist <= answer.max_dist)) {
       answer = std::move(exact);
     }
   }
@@ -1220,6 +1224,505 @@ std::vector<GpssnAnswer> GpssnProcessor::ExecuteImpl(const GpssnQuery& query,
   stats->io.page_misses += pool.stats().page_misses;
   *final_delta = delta;
   return best;
+}
+
+Result<ShardCandidates> GpssnProcessor::GatherCandidates(
+    const GpssnQuery& query, const QueryOptions& options,
+    const ShardScope& scope, QueryStats* stats) {
+  const SpatialSocialNetwork& ssn = poi_index_->ssn();
+  if (query.issuer < 0 || query.issuer >= ssn.num_users()) {
+    return Status::InvalidArgument("query issuer out of range");
+  }
+  if (query.tau < 1 || query.tau > ssn.num_users()) {
+    return Status::InvalidArgument("group size tau out of range");
+  }
+  if (query.gamma < 0.0 || query.theta < 0.0) {
+    return Status::InvalidArgument("negative score threshold");
+  }
+  if (query.radius < poi_index_->options().r_min ||
+      query.radius > poi_index_->options().r_max) {
+    return Status::InvalidArgument(
+        "radius outside the index's [r_min, r_max] envelope");
+  }
+
+  QueryStats local;
+  QueryStats* out = stats != nullptr ? stats : &local;
+  *out = QueryStats();
+  WallTimer timer;
+
+  auto interrupted_status = [&options]() {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {  // gpssn-lint: relaxed(cooperative cancel flag; latency not ordering)
+      return Status::Cancelled("query cancelled");
+    }
+    return Status::DeadlineExceeded("query deadline exceeded");
+  };
+  auto interrupted_now = [&options]() {
+    return (options.cancel != nullptr &&
+            options.cancel->load(std::memory_order_relaxed)) ||  // gpssn-lint: relaxed(cooperative cancel flag; latency not ordering)
+           options.deadline.Expired();
+  };
+  if (interrupted_now()) return interrupted_status();
+
+  const SocialNetwork& social = ssn.social();
+  const PruningFlags& flags = options.pruning;
+  BufferPool pool(options.buffer_pool_pages);
+  QueryUserContext ctx(query, *social_index_);
+  PruningAuditor* auditor =
+      options.auditor != nullptr ? options.auditor : default_auditor_.get();
+  WallTimer descent_timer;
+
+  if (flags.social_distance) {
+    bfs_.Run(query.issuer, query.tau - 1);
+  }
+
+  ShardCandidates result;
+
+  // --- Social side: descend only the scoped subtrees, level-synchronized
+  // (BFS) exactly like ExecuteImpl so surviving leaves — and hence users —
+  // come out in the same left-to-right order the single-node descent
+  // produces. Without δ there is no coupling to the I_R traversal; the
+  // node-level interest/social-distance prunes and the object-level leaf
+  // filters are exactly ExecuteImpl's, so the concatenation of all
+  // shards' survivors (in partition order) equals the single-node
+  // candidate list (node prunes are subsumed by the object-level tests).
+  uint32_t poll_stride = 0;
+  std::vector<SNodeId> s_frontier;
+  auto admit_social = [&](SNodeId id) {
+    const SocialIndexNode& node = social_index_->node(id);
+    ++out->social_nodes_visited;
+    pool.Access(node.page);
+    if (flags.interest_score && PruneSocialNodeInterest(ctx, node)) {
+      ++out->social_nodes_pruned_interest;
+      out->users_pruned_at_index_level += node.subtree_users;
+      if (auditor != nullptr) {
+        auditor->OnSocialNodePruned(ctx, id, PruneRule::kSocialNodeInterest);
+      }
+      return;
+    }
+    if (flags.social_distance && PruneSocialNodeDistance(ctx, node)) {
+      ++out->social_nodes_pruned_distance;
+      out->users_pruned_at_index_level += node.subtree_users;
+      if (auditor != nullptr) {
+        auditor->OnSocialNodePruned(ctx, id, PruneRule::kSocialNodeDistance);
+      }
+      return;
+    }
+    s_frontier.push_back(id);
+  };
+  for (SNodeId id : scope.social_roots) admit_social(id);
+  bool aborted = false;
+  for (;;) {
+    bool any_internal = false;
+    for (SNodeId id : s_frontier) {
+      if (!social_index_->node(id).is_leaf()) {
+        any_internal = true;
+        break;
+      }
+    }
+    if (!any_internal) break;
+    if (interrupted_now()) {
+      aborted = true;
+      break;
+    }
+    std::vector<SNodeId> prev = std::move(s_frontier);
+    s_frontier.clear();
+    for (SNodeId id : prev) {
+      const SocialIndexNode& node = social_index_->node(id);
+      if (node.is_leaf()) {
+        s_frontier.push_back(id);  // Already at object level; keep place.
+        continue;
+      }
+      for (SNodeId child_id : node.children) admit_social(child_id);
+    }
+  }
+  for (SNodeId id : s_frontier) {
+    if (aborted) break;
+    const SocialIndexNode& leaf = social_index_->node(id);
+    for (UserId u : leaf.users) {
+      if ((++poll_stride & 255u) == 0 && interrupted_now()) {
+        aborted = true;
+        break;
+      }
+      ++out->users_seen;
+      pool.Access(social_index_->user_page(u));
+      if (u == query.issuer) {
+        result.users.push_back(u);
+        continue;
+      }
+      if (flags.social_distance) {
+        const bool pivot_pruned =
+            PruneUserSocialDistance(ctx, social_index_->social_pivots(), u);
+        if (pivot_pruned || bfs_.Hops(u) >= query.tau) {
+          ++out->users_pruned_distance;
+          if (pivot_pruned && auditor != nullptr) {
+            auditor->OnUserPruned(ctx, u, PruneRule::kUserSocialDistance);
+          }
+          continue;
+        }
+      }
+      if (flags.interest_score &&
+          PruneUserInterest(ctx, social.Interests(u))) {
+        ++out->users_pruned_interest;
+        if (auditor != nullptr) {
+          auditor->OnUserPruned(ctx, u, PruneRule::kUserInterest);
+        }
+        continue;
+      }
+      result.users.push_back(u);
+    }
+  }
+
+  // --- POI side: match prunes only. The δ road-distance cut is a global
+  // incumbent property and is NEVER applied on the sharded path (so the
+  // a-posteriori δ fallback is structurally unnecessary here); the
+  // cross-shard analogue is the coordinator's incumbent skip, applied at
+  // whole-shard granularity from `lower_bound`.
+  std::vector<RNodeId> r_stack;
+  for (RNodeId id : scope.road_roots) {
+    const PoiNodeAug& aug = poi_index_->node_aug(id);
+    if (flags.match_score && PruneRoadNodeMatch(ctx, aug)) {
+      ++out->road_nodes_pruned_match;
+      out->pois_pruned_at_index_level += aug.subtree_pois;
+      if (auditor != nullptr) auditor->OnRoadNodeMatchPruned(ctx, id);
+      continue;
+    }
+    r_stack.push_back(id);
+  }
+  while (!r_stack.empty() && !aborted) {
+    if (interrupted_now()) {
+      aborted = true;
+      break;
+    }
+    const RNodeId node_id = r_stack.back();
+    r_stack.pop_back();
+    const RTreeNode& node = poi_index_->tree().node(node_id);
+    ++out->road_nodes_visited;
+    pool.Access(poi_index_->node_aug(node_id).page);
+    if (node.is_leaf()) {
+      for (const RTreeEntry& e : node.entries) {
+        ++out->pois_seen;
+        pool.Access(poi_index_->poi_page(e.id));
+        const PoiAug& aug = poi_index_->poi_aug(e.id);
+        if (flags.match_score && PrunePoiMatch(ctx, aug)) {
+          ++out->pois_pruned_match;
+          if (auditor != nullptr) auditor->OnPoiMatchPruned(ctx, e.id);
+          continue;
+        }
+        result.pois.push_back(e.id);
+        result.lower_bound =
+            std::min(result.lower_bound, LbDistToPoi(ctx, aug));
+      }
+    } else {
+      for (const RTreeEntry& e : node.entries) {
+        const PoiNodeAug& child = poi_index_->node_aug(e.id);
+        if (flags.match_score && PruneRoadNodeMatch(ctx, child)) {
+          ++out->road_nodes_pruned_match;
+          out->pois_pruned_at_index_level += child.subtree_pois;
+          if (auditor != nullptr) auditor->OnRoadNodeMatchPruned(ctx, e.id);
+          continue;
+        }
+        r_stack.push_back(e.id);
+      }
+    }
+  }
+  if (aborted) {
+    out->cpu_seconds = timer.ElapsedSeconds();
+    return interrupted_status();
+  }
+
+  std::sort(result.pois.begin(), result.pois.end());
+  out->users_candidates = result.users.size();
+  out->pois_candidates = result.pois.size();
+  out->descent_seconds += descent_timer.ElapsedSeconds();
+  out->io.logical_accesses += pool.stats().logical_accesses;
+  out->io.page_misses += pool.stats().page_misses;
+  out->cpu_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<ShardRefineResult> GpssnProcessor::RefineCandidates(
+    const GpssnQuery& query, const QueryOptions& options,
+    const std::vector<PoiId>& centers_in,
+    const std::vector<std::vector<UserId>>& groups, double incumbent,
+    QueryStats* stats) {
+  const SpatialSocialNetwork& ssn = poi_index_->ssn();
+  if (query.issuer < 0 || query.issuer >= ssn.num_users()) {
+    return Status::InvalidArgument("query issuer out of range");
+  }
+
+  QueryStats local;
+  QueryStats* out = stats != nullptr ? stats : &local;
+  *out = QueryStats();
+  WallTimer timer;
+
+  auto interrupted_status = [&options]() {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {  // gpssn-lint: relaxed(cooperative cancel flag; latency not ordering)
+      return Status::Cancelled("query cancelled");
+    }
+    return Status::DeadlineExceeded("query deadline exceeded");
+  };
+  auto interrupted_now = [&options]() {
+    return (options.cancel != nullptr &&
+            options.cancel->load(std::memory_order_relaxed)) ||  // gpssn-lint: relaxed(cooperative cancel flag; latency not ordering)
+           options.deadline.Expired();
+  };
+  if (interrupted_now()) return interrupted_status();
+
+  const SocialNetwork& social = ssn.social();
+  const ScopedPhaseTimer refine_phase(&out->refine_seconds);
+  BufferPool pool(options.buffer_pool_pages);
+  QueryUserContext ctx(query, *social_index_);
+  DistanceEngine& dist_engine = *EngineFor(options);
+  PruningAuditor* auditor =
+      options.auditor != nullptr ? options.auditor : default_auditor_.get();
+
+  ShardRefineResult result;
+  GpssnAnswer& best = result.answer;  // found=false until one qualifies.
+  // Rejection threshold: NON-STRICT against the shard's own running best
+  // (within the shard, later discovery rank loses ties — exactly the
+  // serial loop's `>= bound()` rejects) but STRICT against the incumbent
+  // (an answer TYING the incumbent may still win the global discovery-rank
+  // comparison at the coordinator, so it must be reported, not dropped).
+  auto reject = [&](double v) {
+    return best.found ? v >= best.max_dist : v > incumbent;
+  };
+  // Distance-row bound: d == bound stays finite (the engines keep
+  // settled-at-bound vertices), so an obj tying `incumbent` is still
+  // representable; once a best exists only strictly-better survives.
+  auto bound = [&]() { return best.found ? best.max_dist : incumbent; };
+  if (groups.empty() || centers_in.empty()) {
+    out->cpu_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  // The refinement below mirrors ExecuteImpl's serial loop exactly (same
+  // arithmetic, same center ordering, same first-encountered-minimum
+  // acceptance) restricted to this shard's centers. Per-pair objectives
+  // depend only on (group, center) — rows are bound-tagged and a
+  // kInfDistance entry proves the pair cannot beat the bound it was
+  // computed under — so evaluating a subset of the single-node candidate
+  // pairs yields bit-identical objective values.
+  scratch_.BeginQuery(static_cast<size_t>(ssn.num_users()),
+                      static_cast<size_t>(ssn.num_pois()));
+  RefineScratch& scr = scratch_;
+  std::unordered_map<PoiId, CenterInfo> center_cache;
+  std::unordered_map<uint64_t, bool> match_memo;
+
+  auto get_center = [&](PoiId c) -> const CenterInfo& {
+    auto it = center_cache.find(c);
+    if (it != center_cache.end()) return it->second;
+    const ScopedPhaseTimer ball_phase(&out->ball_seconds);
+    CenterInfo info;
+    ++out->ball_queries;
+    if (dist_engine.BallUsesRangeEngine(query.radius)) {
+      ++out->ball_range_engine_queries;
+    }
+    info.ball_dists =
+        dist_engine.BallWithDistances(ssn.poi(c).position, query.radius);
+    for (const auto& [id, dist] : info.ball_dists) {
+      info.ball.push_back(id);
+      if (scr.poi_stamp[id] != scr.generation) {
+        scr.poi_stamp[id] = scr.generation;
+        scr.poi_slot[id] = static_cast<int32_t>(scr.needed.size());
+        scr.needed.push_back(id);
+        scr.needed_positions.push_back(ssn.poi(id).position);
+      }
+      pool.Access(poi_index_->poi_page(id));
+    }
+    std::sort(info.ball.begin(), info.ball.end());
+    info.union_keywords = UnionKeywords(ssn, info.ball);
+    info.issuer_matches =
+        MatchScore(ctx.w_q, info.union_keywords) >= query.theta;
+    return center_cache.emplace(c, std::move(info)).first->second;
+  };
+
+  bool targets_set = false;
+  auto ensure_targets = [&]() {
+    if (targets_set) return;
+    dist_engine.SetTargets(scr.needed_positions);
+    scr.rows.reserve((static_cast<size_t>(ssn.num_users()) < 256
+                          ? static_cast<size_t>(ssn.num_users())
+                          : size_t{256}) *
+                     scr.needed.size());
+    targets_set = true;
+  };
+
+  auto get_user_dists = [&](UserId u, double bnd) -> const double* {
+    const size_t width = scr.needed.size();
+    if (scr.user_stamp[u] == scr.generation) {
+      return scr.rows.data() + static_cast<size_t>(scr.user_row[u]) * width;
+    }
+    ensure_targets();
+    const int32_t row_index =
+        width == 0 ? 0 : static_cast<int32_t>(scr.rows.size() / width);
+    scr.rows.resize(scr.rows.size() + width);
+    double* row = scr.rows.data() + static_cast<size_t>(row_index) * width;
+    bool have_row = false;
+    if (options.distance_cache != nullptr && width > 0) {
+      bool all_hit = true;
+      for (size_t i = 0; i < width; ++i) {
+        if (!options.distance_cache->Lookup(u, scr.needed[i], bnd, &row[i])) {
+          all_hit = false;
+          break;
+        }
+      }
+      if (all_hit) {
+        ++out->dist_cache_row_hits;
+        have_row = true;
+      } else {
+        ++out->dist_cache_row_misses;
+      }
+    }
+    if (!have_row) {
+      const ScopedPhaseTimer exact_phase(&out->exact_dist_seconds);
+      dist_engine.SourceToTargets(ssn.user_home(u), bnd, row);
+      ++out->exact_distance_evals;
+      if (options.distance_cache != nullptr) {
+        for (size_t i = 0; i < width; ++i) {
+          options.distance_cache->Insert(u, scr.needed[i], bnd, row[i]);
+        }
+      }
+    }
+    pool.Access(social_index_->user_page(u));
+    scr.user_stamp[u] = scr.generation;
+    scr.user_row[u] = row_index;
+    return row;
+  };
+
+  for (PoiId c : centers_in) {
+    if (interrupted_now()) {
+      out->cpu_seconds = timer.ElapsedSeconds();
+      return interrupted_status();
+    }
+    get_center(c);
+  }
+
+  // Exact issuer-side ordering, as in ExecuteImpl: one bounded search from
+  // the issuer upgrades center order to the exact objective contribution
+  // max_{o∈ball} dist(u_q, o); centers beyond the incumbent cannot beat it
+  // (u_q ∈ S) and are dropped.
+  std::vector<std::pair<double, PoiId>> centers;
+  {
+    const double* issuer_dists = get_user_dists(query.issuer, incumbent);
+    centers.reserve(centers_in.size());
+    for (PoiId c : centers_in) {
+      const CenterInfo& info = get_center(c);
+      double worst = 0.0;
+      bool in_range = !info.ball.empty();
+      for (PoiId o : info.ball) {
+        const double d = issuer_dists[scr.poi_slot[o]];
+        if (d >= kInfDistance) {
+          in_range = false;
+          break;
+        }
+        worst = std::max(worst, d);
+      }
+      if (in_range) centers.emplace_back(worst, c);
+    }
+    std::sort(centers.begin(), centers.end());
+  }
+
+  auto compute_match = [&](UserId u, const CenterInfo& info) {
+    return MatchScore(social.Interests(u), info.union_keywords) >=
+           query.theta;
+  };
+
+  int64_t pair_budget = options.max_refine_pairs;
+  uint32_t poll_stride = 0;
+  for (const auto& [center_lb, c] : centers) {
+    if (interrupted_now()) {
+      out->cpu_seconds = timer.ElapsedSeconds();
+      return interrupted_status();
+    }
+    // Centers are sorted by (center_lb, id) and the threshold only
+    // decreases, so every unvisited center is rejected too.
+    if (reject(center_lb)) break;
+    const CenterInfo& info = get_center(c);
+    if (info.ball.empty()) continue;
+    if (!info.issuer_matches) continue;
+    const PoiAug& center_aug = poi_index_->poi_aug(c);
+
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      const auto& group = groups[gi];
+      if ((++poll_stride & 63u) == 0 && interrupted_now()) {
+        out->cpu_seconds = timer.ElapsedSeconds();
+        return interrupted_status();
+      }
+      double pair_lb = center_lb;
+      for (UserId u : group) {
+        const double user_lb = LbUserPoiDist(
+            social_index_->user_road_pivot_dists(u), center_aug);
+        if (auditor != nullptr) {
+          auditor->OnPairDistanceBound(ctx, u, c, user_lb);
+        }
+        pair_lb = std::max(pair_lb, user_lb);
+      }
+      if (reject(pair_lb)) continue;
+
+      bool all_match = true;
+      for (UserId u : group) {
+        const uint64_t key =
+            (static_cast<uint64_t>(u) << 32) | static_cast<uint32_t>(c);
+        auto mit = match_memo.find(key);
+        bool ok;
+        if (mit != match_memo.end()) {
+          ok = mit->second;
+        } else {
+          ok = compute_match(u, info);
+          match_memo.emplace(key, ok);
+        }
+        if (!ok) {
+          all_match = false;
+          break;
+        }
+      }
+      if (!all_match) continue;
+
+      if (--pair_budget < 0) {
+        out->truncated = true;
+        break;
+      }
+      ++out->pairs_examined;
+      double obj = 0.0;
+      bool feasible = true;
+      for (UserId u : group) {
+        const double* dists = get_user_dists(u, bound());
+        for (PoiId o : info.ball) {
+          const double d = dists[scr.poi_slot[o]];
+          if (d >= kInfDistance) {
+            feasible = false;
+            break;
+          }
+          obj = std::max(obj, d);
+        }
+        if (!feasible || reject(obj)) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      // First-encountered minimum within the shard (the rejects above make
+      // any survivor strictly better than the running best).
+      best.found = true;
+      best.users = group;
+      best.center = c;
+      best.pois = info.ball;
+      best.max_dist = obj;
+      result.center_worst = center_lb;
+      result.group_index = static_cast<int64_t>(gi);
+    }
+    if (pair_budget < 0) break;
+  }
+
+  // users/pois/groups counters stay 0 here: the coordinator owns the
+  // candidate-level counters (the gather stats already carry them), so the
+  // merged per-query stats count each candidate exactly once.
+  out->io.logical_accesses += pool.stats().logical_accesses;
+  out->io.page_misses += pool.stats().page_misses;
+  out->cpu_seconds = timer.ElapsedSeconds();
+  return result;
 }
 
 }  // namespace gpssn

@@ -48,6 +48,45 @@ struct GpssnAnswer {
   double max_dist = kInfDistance;  // maxdist_RN(S, R), the objective.
 };
 
+/// Which index subtrees a serving shard owns: the shard's candidate scope
+/// is the union of users under `social_roots` (I_S partition-tree nodes)
+/// and POIs under `road_roots` (I_R R*-tree nodes). An empty scope is a
+/// valid (idle) shard. Subtree lists are in left-to-right tree order.
+struct ShardScope {
+  std::vector<SNodeId> social_roots;
+  std::vector<RNodeId> road_roots;
+};
+
+/// Scatter-phase result of one shard: the candidate users/POIs surviving
+/// the index prunes inside the shard's scope, plus a lower bound on any
+/// objective achievable with a center in this shard (min over candidate
+/// POIs of the issuer-side distance lower bound, Lemma 5 lifted to shard
+/// granularity). kInfDistance when the shard holds no candidate center.
+struct ShardCandidates {
+  /// Users in I_S leaf-traversal (left-to-right) order — the same relative
+  /// order Execute() discovers them in, so concatenating the shards'
+  /// lists in partition order reproduces the single-node candidate order
+  /// (which group enumeration, and therefore tie-breaking, depends on).
+  std::vector<UserId> users;
+  std::vector<PoiId> pois;  // Sorted ascending (order is refinement-free).
+  double lower_bound = kInfDistance;
+};
+
+/// Refine-phase result of one shard: the best feasible answer over the
+/// shard's candidate centers with objective <= the incumbent, plus its
+/// DISCOVERY RANK — the position the single-node serial loop would have
+/// found it at: centers are visited in ascending (exact issuer-side
+/// objective contribution `center_worst`, center id) order, groups in
+/// ascending index order within a center, and the first-encountered
+/// minimum wins. Comparing shard answers by the lex key
+/// (max_dist, center_worst, center id, group_index) therefore reproduces
+/// the single-node winner exactly, shard count notwithstanding.
+struct ShardRefineResult {
+  GpssnAnswer answer;
+  double center_worst = kInfDistance;  // max_{o∈ball} dist(u_q, o).
+  int64_t group_index = -1;            // Into the coordinator's group list.
+};
+
 /// Query processor bound to one pair of indexes. Owns reusable Dijkstra /
 /// BFS arenas; not thread-safe (one processor per thread).
 class GpssnProcessor {
@@ -80,6 +119,35 @@ class GpssnProcessor {
   Result<std::vector<GpssnAnswer>> ExecuteTopK(const GpssnQuery& query, int k,
                                                const QueryOptions& options,
                                                QueryStats* stats = nullptr);
+
+  /// Serving scatter phase: descends only the index subtrees in `scope`
+  /// and returns the surviving candidate users/POIs plus the shard's
+  /// objective lower bound. Runs the same node- and object-level prunes as
+  /// Execute() except the δ road-distance cut, which is never applied here
+  /// (δ is a global property; a shard-local δ would be unsound), so no
+  /// a-posteriori re-execution is ever needed on the sharded path.
+  /// Deadline/cancel are polled as in Execute().
+  Result<ShardCandidates> GatherCandidates(const GpssnQuery& query,
+                                           const QueryOptions& options,
+                                           const ShardScope& scope,
+                                           QueryStats* stats = nullptr);
+
+  /// Serving refine phase: exact evaluation of the coordinator-supplied
+  /// candidate `groups` (user lists satisfying the pairwise interest
+  /// predicate, in enumeration order) against candidate centers `centers`,
+  /// returning the discovery-order-first feasible answer with objective
+  /// <= `incumbent` (kInfDistance for an unbounded search) plus its
+  /// discovery rank (see ShardRefineResult). Mirrors Execute()'s serial
+  /// refinement exactly — same arithmetic, same non-strict rejection
+  /// against the running best — so per-pair objectives are bit-identical
+  /// to the single-node run (rows are bound-tagged; values are
+  /// bound-independent where finite). answer.found=false when no
+  /// candidate has objective <= incumbent.
+  Result<ShardRefineResult> RefineCandidates(
+      const GpssnQuery& query, const QueryOptions& options,
+      const std::vector<PoiId>& centers,
+      const std::vector<std::vector<UserId>>& groups, double incumbent,
+      QueryStats* stats = nullptr);
 
  private:
   /// `interrupted` (required) is set when the deadline/cancel hook fired

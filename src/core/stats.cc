@@ -42,10 +42,16 @@ void QueryStats::MergeFrom(const QueryStats& other) {
   interest_pairs_scored += other.interest_pairs_scored;
   ball_queries += other.ball_queries;
   ball_range_engine_queries += other.ball_range_engine_queries;
+  skipped_shards += other.skipped_shards;
+  refined_shards += other.refined_shards;
+  shard_msgs += other.shard_msgs;
+  serve_gather_seconds += other.serve_gather_seconds;
+  serve_plan_seconds += other.serve_plan_seconds;
+  serve_refine_seconds += other.serve_refine_seconds;
 }
 
 std::string QueryStats::ToString() const {
-  char buf[1024];
+  char buf[1280];
   std::snprintf(
       buf, sizeof(buf),
       "cpu=%.6fs io=%llu (logical=%llu)\n"
@@ -59,7 +65,9 @@ std::string QueryStats::ToString() const {
       "lanes=%u morsels=%llu (stolen=%llu) interest-pairs=%llu "
       "balls=%llu (range-engine=%llu)\n"
       "phases: descent=%.6fs ball=%.6fs refine=%.6fs exact-dist=%.6fs; "
-      "dist-cache rows hit=%llu miss=%llu",
+      "dist-cache rows hit=%llu miss=%llu\n"
+      "serving: shards refined=%llu skipped=%llu msgs=%llu "
+      "gather=%.6fs plan=%.6fs refine=%.6fs",
       cpu_seconds, static_cast<unsigned long long>(io.page_misses),
       static_cast<unsigned long long>(io.logical_accesses),
       static_cast<unsigned long long>(social_nodes_visited),
@@ -90,7 +98,11 @@ std::string QueryStats::ToString() const {
       static_cast<unsigned long long>(ball_range_engine_queries),
       descent_seconds, ball_seconds, refine_seconds,
       exact_dist_seconds, static_cast<unsigned long long>(dist_cache_row_hits),
-      static_cast<unsigned long long>(dist_cache_row_misses));
+      static_cast<unsigned long long>(dist_cache_row_misses),
+      static_cast<unsigned long long>(refined_shards),
+      static_cast<unsigned long long>(skipped_shards),
+      static_cast<unsigned long long>(shard_msgs),
+      serve_gather_seconds, serve_plan_seconds, serve_refine_seconds);
   return buf;
 }
 

@@ -82,6 +82,22 @@ struct QueryStats {
   uint64_t ball_queries = 0;
   uint64_t ball_range_engine_queries = 0;
 
+  // --- Sharded serving (src/serving/): all 0 on the single-node path.
+  // Refine requests the coordinator never sent because the shard's gather
+  // lower bound could not beat the global incumbent (the cross-shard
+  // Lemma-style prune), over the shards that held candidate centers.
+  uint64_t skipped_shards = 0;
+  uint64_t refined_shards = 0;
+  // Transport envelopes exchanged for this query (requests + replies).
+  uint64_t shard_msgs = 0;
+  // Coordinator-side wall time per serving phase: scatter/gather round,
+  // central planning (merge + Corollary 2 + group enumeration), and the
+  // incumbent-pruned refine waves. Shard-side descent/ball/refine time
+  // lands in the regular phase counters above via the merged shard stats.
+  double serve_gather_seconds = 0.0;
+  double serve_plan_seconds = 0.0;
+  double serve_refine_seconds = 0.0;
+
   /// Page misses (the paper's "number of page accesses through a buffer").
   uint64_t PageAccesses() const { return io.page_misses; }
 

@@ -1,0 +1,420 @@
+#include "serving/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <tuple>
+#include <utility>
+
+#include "core/refinement.h"
+
+namespace gpssn::serving {
+namespace {
+
+// Nearest-rank percentile over an ascending-sorted sample (same estimator
+// as the batch executor's, so serving and single-node BatchStats compare).
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const size_t idx = static_cast<size_t>(std::max(1.0, rank)) - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ServingCluster>> ServingCluster::Create(
+    const GpssnDatabase& db, const ServingOptions& options) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.max_inflight < 1) {
+    return Status::InvalidArgument("max_inflight must be >= 1");
+  }
+  if (options.query.subset_sampling) {
+    return Status::InvalidArgument(
+        "subset sampling is not supported by the sharded serving path");
+  }
+  auto partition = MakeServingPartition(db.social_index(), db.poi_index(),
+                                        options.num_shards);
+  if (!partition.ok()) return partition.status();
+  return std::unique_ptr<ServingCluster>(
+      // Private ctor keeps construction behind the validating factory, so
+      // std::make_unique cannot reach it.
+      new ServingCluster(db, options, std::move(*partition)));  // gpssn-lint: allow(raw-new-delete)
+}
+
+ServingCluster::ServingCluster(const GpssnDatabase& db,
+                               const ServingOptions& options,
+                               ServingPartition partition)
+    : options_(options), db_(db), partition_(std::move(partition)) {
+  shard_query_options_ = options_.query;
+  if (shard_query_options_.distance_backend == nullptr) {
+    shard_query_options_.distance_backend = db_.distance_backend();
+  }
+  // Shards own their caches and schedulers; never inherit the database's.
+  shard_query_options_.distance_cache = nullptr;
+  shard_query_options_.scheduler = nullptr;
+
+  transport_ = std::make_unique<InProcessTransport>(options_.num_shards,
+                                                    options_.mailbox_capacity);
+  shards_.reserve(options_.num_shards);
+  for (int s = 0; s < options_.num_shards; ++s) {
+    ShardConfig config;
+    config.shard_id = s;
+    config.scope = partition_.scopes[s];
+    config.query = shard_query_options_;
+    config.num_workers = options_.shard_num_workers;
+    config.distance_cache_entries = options_.shard_distance_cache_entries;
+    config.poi_index = &db_.poi_index();
+    config.social_index = &db_.social_index();
+    config.cancel = &cancel_;
+    shards_.push_back(std::make_unique<ShardProcess>(config, transport_.get()));
+  }
+}
+
+ServingCluster::~ServingCluster() {
+  // Close the fabric first: shard pumps exit, then the shard destructors
+  // join them and drain their schedulers.
+  transport_->Close();
+}
+
+double ServingCluster::DeadlineSecondsRemaining(const QueryState& state) const {
+  if (!state.deadline.armed()) return -1.0;
+  // May be <= 0 (already expired): the shard arms an expired deadline and
+  // replies DeadlineExceeded at its first poll.
+  return std::chrono::duration<double>(state.deadline.at() -
+                                       std::chrono::steady_clock::now())
+      .count();
+}
+
+bool ServingCluster::SendGather(QueryState* state, uint64_t query_id,
+                                int shard) {
+  GatherRequest request;
+  request.query = state->query;
+  request.deadline_seconds = DeadlineSecondsRemaining(*state);
+  TransportMessage message;
+  message.header.kind = static_cast<uint32_t>(MessageKind::kGatherRequest);
+  message.header.shard = shard;
+  message.header.query_id = query_id;
+  message.payload = EncodeGatherRequest(request);
+  message.header.payload_bytes = message.payload.size();
+  ++state->stats.shard_msgs;
+  return transport_->SendToShard(shard, std::move(message));
+}
+
+bool ServingCluster::SendRefine(QueryState* state, uint64_t query_id,
+                                int shard, double incumbent) {
+  RefineRequest request;
+  request.query = state->query;
+  request.deadline_seconds = DeadlineSecondsRemaining(*state);
+  request.incumbent = incumbent;
+  request.centers = state->per_shard[shard].pois;
+  request.groups = state->groups;
+  TransportMessage message;
+  message.header.kind = static_cast<uint32_t>(MessageKind::kRefineRequest);
+  message.header.shard = shard;
+  message.header.query_id = query_id;
+  message.payload = EncodeRefineRequest(request);
+  message.header.payload_bytes = message.payload.size();
+  ++state->stats.shard_msgs;
+  return transport_->SendToShard(shard, std::move(message));
+}
+
+void ServingCluster::StartQuery(uint64_t query_id, size_t slot,
+                                const GpssnQuery& query,
+                                std::vector<BatchQueryResult>* results) {
+  QueryState& state = inflight_[query_id];
+  state.slot = slot;
+  state.query = query;
+  if (options_.default_deadline_seconds > 0.0) {
+    state.deadline = QueryDeadline::After(options_.default_deadline_seconds);
+  }
+  state.phase = Phase::kGather;
+  state.per_shard.resize(options_.num_shards);
+  state.outstanding = options_.num_shards;
+  state.submit_timer.Restart();
+  state.phase_timer.Restart();
+  for (int s = 0; s < options_.num_shards; ++s) {
+    if (!SendGather(&state, query_id, s)) {
+      Complete(&state, Status::Internal("transport closed during gather"),
+               results);
+      inflight_.erase(query_id);
+      return;
+    }
+  }
+}
+
+void ServingCluster::Complete(QueryState* state, Status status,
+                              std::vector<BatchQueryResult>* results) {
+  BatchQueryResult& slot = (*results)[state->slot];
+  slot.query = state->query;
+  slot.status = std::move(status);
+  if (slot.status.ok()) slot.answer = std::move(state->best);
+  slot.stats = state->stats;
+  slot.latency_seconds = state->submit_timer.ElapsedSeconds();
+  slot.worker = state->wave1_shard;
+}
+
+void ServingCluster::Plan(QueryState* state) {
+  state->stats.serve_gather_seconds = state->phase_timer.ElapsedSeconds();
+  state->phase_timer.Restart();
+
+  // Concatenating the shard lists in shard order reproduces the
+  // single-node I_S leaf-traversal candidate order (partition invariant
+  // ORDER); the issuer lands at its traversal position inside its own
+  // shard's list, or at the end if its leaf was node-pruned — exactly as
+  // in Execute().
+  std::vector<UserId> candidates;
+  for (const ShardCandidates& sc : state->per_shard) {
+    candidates.insert(candidates.end(), sc.users.begin(), sc.users.end());
+  }
+  if (std::find(candidates.begin(), candidates.end(), state->query.issuer) ==
+      candidates.end()) {
+    candidates.push_back(state->query.issuer);
+  }
+
+  const SocialNetwork& social = db_.ssn().social();
+  if (shard_query_options_.pruning.interest_score) {
+    ApplyCorollary2(social, state->query, &candidates, &state->stats);
+  }
+  if (!EnumerateGroups(social, state->query, candidates,
+                       shard_query_options_.max_groups, &state->groups)) {
+    state->stats.truncated = true;
+  }
+  state->stats.groups_enumerated = state->groups.size();
+  state->stats.serve_plan_seconds = state->phase_timer.ElapsedSeconds();
+  state->phase_timer.Restart();
+}
+
+bool ServingCluster::HandleReply(QueryState* state,
+                                 const TransportMessage& message,
+                                 std::vector<BatchQueryResult>* results) {
+  const uint64_t query_id = message.header.query_id;
+  const Status shard_status = StatusFromWire(message.header.status_code);
+  if (!shard_status.ok()) {
+    // Error short-circuit: the query completes now; replies still
+    // outstanding from other shards arrive stale and are dropped by
+    // query_id.
+    Complete(state, shard_status, results);
+    return true;
+  }
+
+  switch (state->phase) {
+    case Phase::kGather: {
+      auto reply = DecodeCandidatesReply(message.payload);
+      if (!reply.ok()) {
+        Complete(state, reply.status(), results);
+        return true;
+      }
+      ++state->stats.shard_msgs;
+      state->stats.MergeFrom(reply->stats);
+      state->per_shard[message.header.shard] = std::move(reply->candidates);
+      if (--state->outstanding > 0) return false;
+
+      Plan(state);
+
+      // Wave 1: the shard with the smallest objective lower bound refines
+      // unbounded and establishes the incumbent. No candidate centers or
+      // no groups anywhere = no feasible answer (found=false, OK status),
+      // matching Execute().
+      int wave1 = -1;
+      for (int s = 0; s < options_.num_shards; ++s) {
+        if (state->per_shard[s].pois.empty()) continue;
+        if (wave1 == -1 || state->per_shard[s].lower_bound <
+                               state->per_shard[wave1].lower_bound) {
+          wave1 = s;
+        }
+      }
+      if (wave1 == -1 || state->groups.empty()) {
+        state->stats.serve_refine_seconds = state->phase_timer.ElapsedSeconds();
+        Complete(state, Status::OK(), results);
+        return true;
+      }
+      state->wave1_shard = wave1;
+      state->phase = Phase::kRefineWave1;
+      state->outstanding = 1;
+      ++state->stats.refined_shards;
+      if (!SendRefine(state, query_id, wave1, kInfDistance)) {
+        Complete(state, Status::Internal("transport closed during refine"),
+                 results);
+        return true;
+      }
+      return false;
+    }
+
+    case Phase::kRefineWave1: {
+      auto reply = DecodeAnswerReply(message.payload);
+      if (!reply.ok()) {
+        Complete(state, reply.status(), results);
+        return true;
+      }
+      ++state->stats.shard_msgs;
+      state->stats.MergeFrom(reply->stats);
+      if (reply->result.answer.found) {
+        state->incumbent = reply->result.answer.max_dist;
+        state->best = std::move(reply->result.answer);
+        state->best_rank = {state->best.max_dist, reply->result.center_worst,
+                            state->best.center, reply->result.group_index};
+      }
+
+      // Wave 2: broadcast the incumbent; skip any shard whose lower bound
+      // already exceeds it (it cannot beat, or tie-and-win against, the
+      // incumbent: its objectives are all > incumbent >= optimum). This is
+      // the cross-shard incumbent prune.
+      state->phase = Phase::kRefineWave2;
+      state->outstanding = 0;
+      for (int s = 0; s < options_.num_shards; ++s) {
+        if (s == state->wave1_shard || state->per_shard[s].pois.empty()) {
+          continue;
+        }
+        if (state->per_shard[s].lower_bound > state->incumbent) {
+          ++state->stats.skipped_shards;
+          continue;
+        }
+        ++state->stats.refined_shards;
+        ++state->outstanding;
+        if (!SendRefine(state, query_id, s, state->incumbent)) {
+          Complete(state, Status::Internal("transport closed during refine"),
+                   results);
+          return true;
+        }
+      }
+      if (state->outstanding == 0) {
+        state->stats.serve_refine_seconds = state->phase_timer.ElapsedSeconds();
+        Complete(state, Status::OK(), results);
+        return true;
+      }
+      return false;
+    }
+
+    case Phase::kRefineWave2: {
+      auto reply = DecodeAnswerReply(message.payload);
+      if (!reply.ok()) {
+        Complete(state, reply.status(), results);
+        return true;
+      }
+      ++state->stats.shard_msgs;
+      state->stats.MergeFrom(reply->stats);
+      if (reply->result.answer.found) {
+        // Discovery-rank merge: the lexicographically least key wins —
+        // exactly the first-encountered minimum of the single-node serial
+        // loop. Wave-2 shards report ties with the incumbent (their reject
+        // is strict against it) precisely so this comparison can decide
+        // them by rank.
+        const RankKey rank{reply->result.answer.max_dist,
+                           reply->result.center_worst,
+                           reply->result.answer.center,
+                           reply->result.group_index};
+        const bool better =
+            !state->best.found ||
+            std::tie(rank.max_dist, rank.center_worst, rank.center,
+                     rank.group_index) <
+                std::tie(state->best_rank.max_dist,
+                         state->best_rank.center_worst, state->best_rank.center,
+                         state->best_rank.group_index);
+        if (better) {
+          state->best = std::move(reply->result.answer);
+          state->best_rank = rank;
+          state->incumbent = state->best.max_dist;
+        }
+      }
+      if (--state->outstanding > 0) return false;
+      state->stats.serve_refine_seconds = state->phase_timer.ElapsedSeconds();
+      Complete(state, Status::OK(), results);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<BatchQueryResult> ServingCluster::QueryBatch(
+    std::span<const GpssnQuery> queries, BatchStats* stats) {
+  cancel_.store(false, std::memory_order_relaxed);  // gpssn-lint: relaxed(cooperative cancel flag; latency not ordering)
+  const uint64_t msgs_base = transport_->messages_sent();
+  WallTimer batch_timer;
+
+  std::vector<BatchQueryResult> results(queries.size());
+  size_t next_submit = 0;
+  size_t completed = 0;
+
+  while (completed < queries.size()) {
+    while (next_submit < queries.size() &&
+           inflight_.size() < static_cast<size_t>(options_.max_inflight)) {
+      const uint64_t query_id = next_query_id_++;
+      StartQuery(query_id, next_submit, queries[next_submit], &results);
+      ++next_submit;
+      if (inflight_.find(query_id) == inflight_.end()) ++completed;
+    }
+    if (inflight_.empty()) continue;
+
+    TransportMessage message;
+    if (!transport_->RecvAtCoordinator(&message)) {
+      // Fabric closed under us: fail everything still in flight.
+      for (auto& [id, state] : inflight_) {
+        Complete(&state, Status::Internal("transport closed"), &results);
+        ++completed;
+      }
+      inflight_.clear();
+      break;
+    }
+    auto it = inflight_.find(message.header.query_id);
+    if (it == inflight_.end()) continue;  // Stale reply: drop.
+    if (HandleReply(&it->second, message, &results)) {
+      inflight_.erase(it);
+      ++completed;
+    }
+  }
+
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    stats->queries = results.size();
+    std::vector<double> latencies;
+    latencies.reserve(results.size());
+    for (const BatchQueryResult& r : results) {
+      if (r.status.ok()) {
+        ++stats->succeeded;
+        if (r.answer.found) ++stats->answers_found;
+      } else if (r.status.IsDeadlineExceeded()) {
+        ++stats->deadline_exceeded;
+      } else if (r.status.IsCancelled()) {
+        ++stats->cancelled;
+      } else {
+        ++stats->failed;
+      }
+      stats->totals.MergeFrom(r.stats);
+      latencies.push_back(r.latency_seconds);
+    }
+    stats->wall_seconds = batch_timer.ElapsedSeconds();
+    if (stats->wall_seconds > 0.0) {
+      stats->throughput_qps =
+          static_cast<double>(stats->queries) / stats->wall_seconds;
+    }
+    if (!latencies.empty()) {
+      std::sort(latencies.begin(), latencies.end());
+      double sum = 0.0;
+      for (double v : latencies) sum += v;
+      stats->latency_mean_seconds = sum / static_cast<double>(latencies.size());
+      stats->latency_p50_seconds = Percentile(latencies, 0.50);
+      stats->latency_p95_seconds = Percentile(latencies, 0.95);
+      stats->latency_p99_seconds = Percentile(latencies, 0.99);
+      stats->latency_max_seconds = latencies.back();
+    }
+    // Cross-check: the per-query shard_msgs counters must cover every
+    // message the fabric carried for this batch (stale replies included —
+    // they were counted when sent).
+    stats->totals.shard_msgs =
+        std::max(stats->totals.shard_msgs,
+                 transport_->messages_sent() - msgs_base);
+  }
+  return results;
+}
+
+Result<GpssnAnswer> ServingCluster::Query(const GpssnQuery& query,
+                                          QueryStats* stats) {
+  std::vector<BatchQueryResult> results = QueryBatch({&query, 1});
+  if (stats != nullptr) *stats = results[0].stats;
+  if (!results[0].status.ok()) return results[0].status;
+  return std::move(results[0].answer);
+}
+
+}  // namespace gpssn::serving

@@ -1,0 +1,131 @@
+#include "serving/shard.h"
+
+#include <utility>
+
+namespace gpssn::serving {
+
+ShardProcess::ShardProcess(const ShardConfig& config,
+                           InProcessTransport* transport)
+    : config_(config),
+      transport_(transport),
+      scheduler_(config.num_workers < 1 ? 1 : config.num_workers) {
+  if (config_.distance_cache_entries > 0) {
+    DistanceCacheOptions cache_options;
+    cache_options.max_entries = config_.distance_cache_entries;
+    distance_cache_ = std::make_unique<DistanceCache>(cache_options);
+  }
+  processors_.reserve(scheduler_.num_threads());
+  for (int w = 0; w < scheduler_.num_threads(); ++w) {
+    processors_.push_back(std::make_unique<GpssnProcessor>(
+        config_.poi_index, config_.social_index));
+  }
+  pump_ = std::thread([this] { PumpLoop(); });
+}
+
+ShardProcess::~ShardProcess() {
+  // The owner closed the transport, so the pump's Recv fails and it exits;
+  // the scheduler destructor then drains any still-queued requests (their
+  // replies fail to send into the closed fabric, which is fine).
+  if (pump_.joinable()) pump_.join();
+}
+
+void ShardProcess::PumpLoop() {
+  TransportMessage message;
+  while (transport_->RecvAtShard(config_.shard_id, &message)) {
+    // Hand the request to the shard's scheduler so several queries can be
+    // in flight on this shard at once; the pump goes straight back to the
+    // inbox.
+    auto shared = std::make_shared<TransportMessage>(std::move(message));
+    scheduler_.Submit(
+        [this, shared](int worker) { Handle(worker, *shared); });
+  }
+}
+
+void ShardProcess::Reply(MessageKind kind, uint64_t query_id,
+                         const Status& status, std::vector<uint8_t> payload) {
+  TransportMessage reply;
+  reply.header.kind = static_cast<uint32_t>(kind);
+  reply.header.shard = config_.shard_id;
+  reply.header.query_id = query_id;
+  reply.header.status_code = static_cast<int32_t>(status.code());
+  reply.payload = std::move(payload);
+  reply.header.payload_bytes = reply.payload.size();
+  // A false return means the fabric is closed — the coordinator is gone
+  // and nobody is waiting for this reply.
+  (void)transport_->SendToCoordinator(std::move(reply));
+}
+
+void ShardProcess::Handle(int worker, const TransportMessage& message) {
+  const uint64_t query_id = message.header.query_id;
+  GpssnProcessor& processor = *processors_[worker];
+
+  QueryOptions options = config_.query;
+  options.distance_cache = distance_cache_.get();
+  options.cancel = config_.cancel;
+  // Serving shards parallelize ACROSS queries (scheduler tasks), not
+  // within one — the discovery-rank protocol depends on the serial
+  // refinement loop — and always use the scalar social kernels.
+  options.scheduler = nullptr;
+  options.intra_query_workers = 0;
+  options.vectorized_social_kernels = false;
+
+  auto arm = [&options](double deadline_seconds) {
+    // Re-arming from seconds-remaining loses the request's transport
+    // latency, so the shard's deadline is never EARLIER than the
+    // coordinator's (the coordinator, not the shard, is the authority on
+    // expiring a query).
+    options.deadline = deadline_seconds >= 0.0
+                           ? QueryDeadline::After(deadline_seconds)
+                           : QueryDeadline();
+  };
+
+  switch (static_cast<MessageKind>(message.header.kind)) {
+    case MessageKind::kGatherRequest: {
+      auto request = DecodeGatherRequest(message.payload);
+      if (!request.ok()) {
+        Reply(MessageKind::kCandidates, query_id, request.status(), {});
+        return;
+      }
+      arm(request->deadline_seconds);
+      CandidatesReply reply;
+      auto candidates = processor.GatherCandidates(
+          request->query, options, config_.scope, &reply.stats);
+      if (!candidates.ok()) {
+        Reply(MessageKind::kCandidates, query_id, candidates.status(), {});
+        return;
+      }
+      reply.candidates = std::move(*candidates);
+      Reply(MessageKind::kCandidates, query_id, Status::OK(),
+            EncodeCandidatesReply(reply));
+      return;
+    }
+    case MessageKind::kRefineRequest: {
+      auto request = DecodeRefineRequest(message.payload);
+      if (!request.ok()) {
+        Reply(MessageKind::kAnswer, query_id, request.status(), {});
+        return;
+      }
+      arm(request->deadline_seconds);
+      AnswerReply reply;
+      auto result = processor.RefineCandidates(
+          request->query, options, request->centers, request->groups,
+          request->incumbent, &reply.stats);
+      if (!result.ok()) {
+        Reply(MessageKind::kAnswer, query_id, result.status(), {});
+        return;
+      }
+      reply.result = std::move(*result);
+      Reply(MessageKind::kAnswer, query_id, Status::OK(),
+            EncodeAnswerReply(reply));
+      return;
+    }
+    default:
+      // A reply kind (or garbage) landed in a shard inbox; answer so the
+      // coordinator never hangs on a miscounted gather.
+      Reply(MessageKind::kAnswer, query_id,
+            Status::InvalidArgument("unexpected message kind at shard"), {});
+      return;
+  }
+}
+
+}  // namespace gpssn::serving

@@ -1,0 +1,80 @@
+// Copyright 2026 The gpssn Authors.
+//
+// ShardProcess: one serving shard (DESIGN.md §12). Owns its slice of the
+// candidate space (a ShardScope from the partitioner), its own
+// TaskScheduler with a pooled GpssnProcessor per worker, and its own
+// DistanceCache — the same per-node resources a standalone GpssnDatabase
+// instance would own — over the shared immutable indexes and distance
+// backend. A pump thread drains the shard's transport inbox and submits
+// each request as a scheduler task, so one shard serves multiple in-flight
+// queries concurrently (the coordinator pipelines a batch).
+//
+// Liveness contract: a shard ALWAYS replies — success payload or error
+// status (deadline, cancel, malformed request) — so the coordinator may
+// block on its inbox without timeouts. The pump exits when the transport
+// closes; destruction joins the pump and drains the scheduler.
+
+#ifndef GPSSN_SERVING_SHARD_H_
+#define GPSSN_SERVING_SHARD_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/task_scheduler.h"
+#include "core/query.h"
+#include "roadnet/distance_cache.h"
+#include "serving/transport.h"
+#include "serving/wire.h"
+
+namespace gpssn::serving {
+
+struct ShardConfig {
+  int shard_id = 0;
+  /// The index subtrees this shard owns (from MakeServingPartition).
+  ShardScope scope;
+  /// Base processor options; the shard layers per-request deadline/cancel
+  /// and its own distance cache on top. `distance_backend` selects the
+  /// shared engine (CH or built-in Dijkstra) exactly as on the single-node
+  /// path.
+  QueryOptions query;
+  /// Scheduler worker count (= pooled processors); >= 1.
+  int num_workers = 1;
+  /// Entry budget of the shard-private DistanceCache; 0 disables caching.
+  size_t distance_cache_entries = 1u << 18;
+  /// Shared immutable indexes (must outlive the shard).
+  const PoiIndex* poi_index = nullptr;
+  const SocialIndex* social_index = nullptr;
+  /// Cluster-level cancel flag (ServingCluster::CancelAll); may be null.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+class ShardProcess {
+ public:
+  /// Starts the pump thread immediately. `transport` must outlive the
+  /// shard and must be Close()d before the shard is destroyed (that is
+  /// what makes the pump exit).
+  ShardProcess(const ShardConfig& config, InProcessTransport* transport);
+  ~ShardProcess();
+
+  GPSSN_DISALLOW_COPY_AND_MOVE(ShardProcess);
+
+ private:
+  void PumpLoop();
+  void Handle(int worker, const TransportMessage& message);
+  void Reply(MessageKind kind, uint64_t query_id, const Status& status,
+             std::vector<uint8_t> payload);
+
+  const ShardConfig config_;
+  InProcessTransport* const transport_;
+  std::unique_ptr<DistanceCache> distance_cache_;
+  std::vector<std::unique_ptr<GpssnProcessor>> processors_;  // One per worker.
+  TaskScheduler scheduler_;
+  std::thread pump_;  // Last member: joined before the state above dies.
+};
+
+}  // namespace gpssn::serving
+
+#endif  // GPSSN_SERVING_SHARD_H_

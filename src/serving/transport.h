@@ -1,0 +1,97 @@
+// Copyright 2026 The gpssn Authors.
+//
+// Transport abstraction of the sharded serving layer (DESIGN.md §12). The
+// coordinator and the shards exchange TransportMessages (wire.h) through
+// endpoint mailboxes; this file provides the in-process implementation —
+// bounded MPSC queues on the capability-annotated sync layer. Because the
+// payloads are already flat bytes, a socket transport is a drop-in: same
+// envelope, same payload, different carrier.
+//
+// Topology: one inbox per shard (coordinator -> shard requests) plus one
+// coordinator inbox (shard -> coordinator replies, multi-producer). Close()
+// tears the whole fabric down: blocked senders and receivers wake up and
+// observe `false`, which is the shard pump threads' exit signal.
+
+#ifndef GPSSN_SERVING_TRANSPORT_H_
+#define GPSSN_SERVING_TRANSPORT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/sync.h"
+#include "serving/wire.h"
+
+namespace gpssn::serving {
+
+/// Bounded MPSC (in practice MPMC-safe) queue of TransportMessages.
+/// Send blocks while full, Recv blocks while empty; both return false once
+/// the mailbox is closed (Recv drains buffered messages first).
+class Mailbox {
+ public:
+  explicit Mailbox(size_t capacity);
+  GPSSN_DISALLOW_COPY_AND_MOVE(Mailbox);
+
+  /// Enqueues `message`, blocking while the mailbox is at capacity.
+  /// Returns false (message dropped) if the mailbox is or becomes closed.
+  bool Send(TransportMessage message) GPSSN_EXCLUDES(mu_);
+
+  /// Dequeues into `*out`, blocking while the mailbox is empty. Returns
+  /// false only when the mailbox is closed AND drained.
+  bool Recv(TransportMessage* out) GPSSN_EXCLUDES(mu_);
+
+  /// Closes the mailbox: wakes every blocked sender and receiver. Messages
+  /// already buffered remain receivable. Idempotent.
+  void Close() GPSSN_EXCLUDES(mu_);
+
+ private:
+  const size_t capacity_;
+  Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<TransportMessage> queue_ GPSSN_GUARDED_BY(mu_);
+  bool closed_ GPSSN_GUARDED_BY(mu_) = false;
+};
+
+/// The in-process transport fabric: `num_shards` shard inboxes plus the
+/// coordinator inbox. Thread-safe; the per-message cost is one lock
+/// acquisition and one vector move per hop.
+class InProcessTransport {
+ public:
+  InProcessTransport(int num_shards, size_t mailbox_capacity);
+  GPSSN_DISALLOW_COPY_AND_MOVE(InProcessTransport);
+
+  int num_shards() const { return num_shards_; }
+
+  /// Coordinator -> shard request. False if the fabric is closed.
+  bool SendToShard(int shard, TransportMessage message);
+  /// Shard -> coordinator reply. False if the fabric is closed.
+  bool SendToCoordinator(TransportMessage message);
+
+  /// Blocking receive on shard `shard`'s inbox (its pump thread's loop).
+  bool RecvAtShard(int shard, TransportMessage* out);
+  /// Blocking receive on the coordinator inbox (the event loop).
+  bool RecvAtCoordinator(TransportMessage* out);
+
+  /// Closes every mailbox; all blocked parties wake and observe false.
+  void Close();
+
+  /// Total messages accepted across all mailboxes (the `shard_msgs` stat).
+  uint64_t messages_sent() const {
+    return messages_sent_.load(
+        std::memory_order_relaxed);  // gpssn-lint: relaxed(monotone stat counter)
+  }
+
+ private:
+  const int num_shards_;
+  std::vector<std::unique_ptr<Mailbox>> shard_inboxes_;
+  Mailbox coordinator_inbox_;
+  std::atomic<uint64_t> messages_sent_{0};
+};
+
+}  // namespace gpssn::serving
+
+#endif  // GPSSN_SERVING_TRANSPORT_H_

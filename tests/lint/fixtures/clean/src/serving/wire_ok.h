@@ -1,0 +1,30 @@
+// Fixture: conforming serving wire structs — every struct Wire* carries
+// the gpssn-serialized marker and its pinned-layout static_asserts (a doc
+// comment between marker and declaration is allowed).
+
+#ifndef GPSSN_SERVING_WIRE_OK_H_
+#define GPSSN_SERVING_WIRE_OK_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace gpssn::serving {
+
+// gpssn-serialized(bytes=16)
+struct WireEnvelope {
+  uint64_t query_id;
+  uint32_t kind;
+  uint32_t reserved;
+};
+static_assert(std::is_trivially_copyable_v<WireEnvelope>,
+              "WireEnvelope crosses the transport verbatim");
+static_assert(sizeof(WireEnvelope) == 16, "WireEnvelope layout is fixed");
+
+// Non-wire structs in serving files are exempt from the marker rule.
+struct DecodedEnvelope {
+  uint64_t query_id = 0;
+};
+
+}  // namespace gpssn::serving
+
+#endif  // GPSSN_SERVING_WIRE_OK_H_

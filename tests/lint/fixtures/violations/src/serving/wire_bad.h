@@ -1,0 +1,29 @@
+// Fixture: serving-wire violation — a serving transport message struct
+// without the gpssn-serialized marker (its layout is unpinned).
+
+#ifndef GPSSN_SERVING_WIRE_BAD_H_
+#define GPSSN_SERVING_WIRE_BAD_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace gpssn::serving {
+
+// No marker: one serving-wire finding.
+struct WireUnpinned {
+  uint32_t kind;
+  uint32_t reserved;
+};
+
+// Properly marked wire struct: clean (both rules satisfied).
+// gpssn-serialized(bytes=8)
+struct WirePinned {
+  uint32_t kind;
+  uint32_t reserved;
+};
+static_assert(std::is_trivially_copyable_v<WirePinned>, "layout");
+static_assert(sizeof(WirePinned) == 8, "layout");
+
+}  // namespace gpssn::serving
+
+#endif  // GPSSN_SERVING_WIRE_BAD_H_

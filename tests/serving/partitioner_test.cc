@@ -1,0 +1,132 @@
+// Partitioner invariants (src/serving/partition.h): COVERAGE (every user
+// and POI under exactly one shard), ORDER (shard scopes concatenated in
+// shard order enumerate the index leaves in single-node descent order),
+// and BALANCE (no shard hogs the whole candidate space when the tree
+// offers enough subtrees).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/database.h"
+#include "serving/partition.h"
+#include "ssn/dataset.h"
+
+namespace gpssn::serving {
+namespace {
+
+GpssnDatabase MakeDb(uint64_t seed) {
+  SyntheticSsnOptions data;
+  data.num_road_vertices = 150;
+  data.num_pois = 60;
+  data.num_users = 80;
+  data.seed = seed;
+  GpssnBuildOptions build;
+  build.poi_index.r_min = 0.3;
+  build.poi_index.r_max = 4.5;
+  return GpssnDatabase(MakeSynthetic(data), build);
+}
+
+// Left-to-right user order of the social partition tree's leaves, starting
+// from `roots` (single-node descent enumerates leaves in this order).
+std::vector<UserId> LeafUsers(const SocialIndex& social,
+                              const std::vector<SNodeId>& roots) {
+  std::vector<UserId> users;
+  for (SNodeId root : roots) {
+    std::vector<SNodeId> stack{root};
+    while (!stack.empty()) {
+      const SNodeId id = stack.back();
+      stack.pop_back();
+      const SocialIndexNode& node = social.node(id);
+      if (node.is_leaf()) {
+        users.insert(users.end(), node.users.begin(), node.users.end());
+      } else {
+        for (auto it = node.children.rbegin(); it != node.children.rend();
+             ++it) {
+          stack.push_back(*it);
+        }
+      }
+    }
+  }
+  return users;
+}
+
+TEST(PartitionerTest, CoverageAndValidationAtEveryShardCount) {
+  GpssnDatabase db = MakeDb(11);
+  for (int shards : {1, 2, 4, 8, 16}) {
+    auto partition = MakeServingPartition(db.social_index(),
+                                          db.poi_index(), shards);
+    ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+    ASSERT_EQ(partition->scopes.size(), static_cast<size_t>(shards));
+    EXPECT_TRUE(ValidateServingPartition(*partition, db.social_index(),
+                                         db.poi_index())
+                    .ok());
+    ASSERT_EQ(partition->user_shard.size(),
+              static_cast<size_t>(db.ssn().num_users()));
+    ASSERT_EQ(partition->poi_shard.size(),
+              static_cast<size_t>(db.ssn().num_pois()));
+    for (int32_t s : partition->user_shard) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, shards);
+    }
+    for (int32_t s : partition->poi_shard) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, shards);
+    }
+  }
+}
+
+TEST(PartitionerTest, ShardOrderReproducesSingleNodeLeafOrder) {
+  GpssnDatabase db = MakeDb(12);
+  const std::vector<UserId> full =
+      LeafUsers(db.social_index(), {db.social_index().root()});
+  for (int shards : {1, 2, 4, 8}) {
+    auto partition = MakeServingPartition(db.social_index(),
+                                          db.poi_index(), shards);
+    ASSERT_TRUE(partition.ok());
+    std::vector<UserId> concatenated;
+    for (const ShardScope& scope : partition->scopes) {
+      const std::vector<UserId> part =
+          LeafUsers(db.social_index(), scope.social_roots);
+      concatenated.insert(concatenated.end(), part.begin(), part.end());
+    }
+    EXPECT_EQ(concatenated, full) << "shards=" << shards;
+  }
+}
+
+TEST(PartitionerTest, MultipleShardsActuallySplitTheSpace) {
+  GpssnDatabase db = MakeDb(13);
+  auto partition = MakeServingPartition(db.social_index(),
+                                        db.poi_index(), 4);
+  ASSERT_TRUE(partition.ok());
+  // With 80 users / 60 POIs the trees have plenty of subtrees: no single
+  // shard may own everything.
+  for (size_t s = 0; s < partition->scopes.size(); ++s) {
+    size_t owned_users = 0;
+    for (int32_t owner : partition->user_shard) {
+      if (owner == static_cast<int32_t>(s)) ++owned_users;
+    }
+    EXPECT_LT(owned_users, partition->user_shard.size()) << "shard " << s;
+  }
+  int shards_with_users = 0;
+  int shards_with_pois = 0;
+  for (size_t s = 0; s < partition->scopes.size(); ++s) {
+    if (!partition->scopes[s].social_roots.empty()) ++shards_with_users;
+    if (!partition->scopes[s].road_roots.empty()) ++shards_with_pois;
+  }
+  EXPECT_GT(shards_with_users, 1);
+  EXPECT_GT(shards_with_pois, 1);
+}
+
+TEST(PartitionerTest, RejectsNonPositiveShardCount) {
+  GpssnDatabase db = MakeDb(14);
+  EXPECT_TRUE(MakeServingPartition(db.social_index(), db.poi_index(), 0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(MakeServingPartition(db.social_index(), db.poi_index(), -3)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace gpssn::serving

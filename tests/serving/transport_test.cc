@@ -1,0 +1,218 @@
+// Transport-layer unit tests: mailbox blocking/close semantics and
+// lossless encode/decode roundtrips of every serving wire message
+// (src/serving/transport.h, src/serving/wire.h).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "serving/transport.h"
+#include "serving/wire.h"
+
+namespace gpssn::serving {
+namespace {
+
+TransportMessage Msg(uint64_t query_id) {
+  TransportMessage m;
+  m.header.kind = static_cast<uint32_t>(MessageKind::kGatherRequest);
+  m.header.query_id = query_id;
+  return m;
+}
+
+TEST(MailboxTest, FifoDelivery) {
+  Mailbox box(8);
+  ASSERT_TRUE(box.Send(Msg(1)));
+  ASSERT_TRUE(box.Send(Msg(2)));
+  TransportMessage out;
+  ASSERT_TRUE(box.Recv(&out));
+  EXPECT_EQ(out.header.query_id, 1u);
+  ASSERT_TRUE(box.Recv(&out));
+  EXPECT_EQ(out.header.query_id, 2u);
+}
+
+TEST(MailboxTest, SendBlocksAtCapacityUntilRecv) {
+  Mailbox box(1);
+  ASSERT_TRUE(box.Send(Msg(1)));
+  std::atomic<bool> second_sent{false};
+  std::thread sender([&] {
+    ASSERT_TRUE(box.Send(Msg(2)));
+    second_sent.store(true);
+  });
+  // The second Send must be parked until we drain one slot.
+  TransportMessage out;
+  ASSERT_TRUE(box.Recv(&out));
+  EXPECT_EQ(out.header.query_id, 1u);
+  sender.join();
+  EXPECT_TRUE(second_sent.load());
+  ASSERT_TRUE(box.Recv(&out));
+  EXPECT_EQ(out.header.query_id, 2u);
+}
+
+TEST(MailboxTest, CloseWakesBlockedReceiverAndFailsSends) {
+  Mailbox box(4);
+  std::thread closer([&] { box.Close(); });
+  TransportMessage out;
+  EXPECT_FALSE(box.Recv(&out));  // Wakes on Close, empty queue.
+  closer.join();
+  EXPECT_FALSE(box.Send(Msg(1)));
+}
+
+TEST(MailboxTest, CloseDrainsBufferedMessagesFirst) {
+  Mailbox box(4);
+  ASSERT_TRUE(box.Send(Msg(7)));
+  box.Close();
+  TransportMessage out;
+  ASSERT_TRUE(box.Recv(&out));  // Buffered message still delivered.
+  EXPECT_EQ(out.header.query_id, 7u);
+  EXPECT_FALSE(box.Recv(&out));  // Then closed-and-drained.
+}
+
+TEST(MailboxTest, CloseWakesBlockedSender) {
+  Mailbox box(1);
+  ASSERT_TRUE(box.Send(Msg(1)));
+  std::atomic<bool> send_failed{false};
+  std::thread sender([&] {
+    if (!box.Send(Msg(2))) send_failed.store(true);
+  });
+  box.Close();
+  sender.join();
+  EXPECT_TRUE(send_failed.load());
+}
+
+TEST(InProcessTransportTest, RoutesAndCounts) {
+  InProcessTransport transport(2, 8);
+  ASSERT_TRUE(transport.SendToShard(0, Msg(1)));
+  ASSERT_TRUE(transport.SendToShard(1, Msg(2)));
+  ASSERT_TRUE(transport.SendToCoordinator(Msg(3)));
+  EXPECT_EQ(transport.messages_sent(), 3u);
+  TransportMessage out;
+  ASSERT_TRUE(transport.RecvAtShard(0, &out));
+  EXPECT_EQ(out.header.query_id, 1u);
+  ASSERT_TRUE(transport.RecvAtShard(1, &out));
+  EXPECT_EQ(out.header.query_id, 2u);
+  ASSERT_TRUE(transport.RecvAtCoordinator(&out));
+  EXPECT_EQ(out.header.query_id, 3u);
+  transport.Close();
+  EXPECT_FALSE(transport.SendToShard(0, Msg(4)));
+  EXPECT_FALSE(transport.RecvAtCoordinator(&out));
+}
+
+GpssnQuery SampleQuery() {
+  GpssnQuery q;
+  q.issuer = 17;
+  q.tau = 4;
+  q.gamma = 0.25;
+  q.metric = InterestMetric::kJaccard;
+  q.theta = 0.4;
+  q.radius = 1.75;
+  return q;
+}
+
+TEST(WireTest, GatherRequestRoundtrip) {
+  GatherRequest request;
+  request.query = SampleQuery();
+  request.deadline_seconds = 0.125;
+  auto decoded = DecodeGatherRequest(EncodeGatherRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->query.issuer, 17);
+  EXPECT_EQ(decoded->query.tau, 4);
+  EXPECT_EQ(decoded->query.metric, InterestMetric::kJaccard);
+  EXPECT_EQ(decoded->query.gamma, 0.25);
+  EXPECT_EQ(decoded->query.theta, 0.4);
+  EXPECT_EQ(decoded->query.radius, 1.75);
+  EXPECT_EQ(decoded->deadline_seconds, 0.125);
+}
+
+TEST(WireTest, CandidatesReplyRoundtrip) {
+  CandidatesReply reply;
+  reply.candidates.users = {3, 1, 9};  // Traversal order, not sorted.
+  reply.candidates.pois = {2, 5};
+  reply.candidates.lower_bound = 0.375;
+  reply.stats.users_candidates = 3;
+  reply.stats.pois_candidates = 2;
+  reply.stats.cpu_seconds = 0.5;
+  auto decoded = DecodeCandidatesReply(EncodeCandidatesReply(reply));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->candidates.users, reply.candidates.users);
+  EXPECT_EQ(decoded->candidates.pois, reply.candidates.pois);
+  EXPECT_EQ(decoded->candidates.lower_bound, 0.375);
+  EXPECT_EQ(decoded->stats.users_candidates, 3u);
+  EXPECT_EQ(decoded->stats.pois_candidates, 2u);
+  EXPECT_EQ(decoded->stats.cpu_seconds, 0.5);
+}
+
+TEST(WireTest, RefineRequestRoundtrip) {
+  RefineRequest request;
+  request.query = SampleQuery();
+  request.deadline_seconds = -1.0;
+  request.incumbent = 2.5;
+  request.centers = {4, 8, 15};
+  request.groups = {{1, 2, 17, 30}, {1, 5, 17, 21}};
+  auto decoded = DecodeRefineRequest(EncodeRefineRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->incumbent, 2.5);
+  EXPECT_EQ(decoded->centers, request.centers);
+  EXPECT_EQ(decoded->groups, request.groups);
+  EXPECT_EQ(decoded->deadline_seconds, -1.0);
+}
+
+TEST(WireTest, AnswerReplyRoundtrip) {
+  AnswerReply reply;
+  reply.result.answer.found = true;
+  reply.result.answer.users = {1, 2, 17};
+  reply.result.answer.center = 8;
+  reply.result.answer.pois = {6, 8, 9};
+  reply.result.answer.max_dist = 1.625;
+  reply.result.center_worst = 1.5;
+  reply.result.group_index = 42;
+  reply.stats.ball_queries = 7;
+  auto decoded = DecodeAnswerReply(EncodeAnswerReply(reply));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->result.answer.found);
+  EXPECT_EQ(decoded->result.answer.users, reply.result.answer.users);
+  EXPECT_EQ(decoded->result.answer.center, 8);
+  EXPECT_EQ(decoded->result.answer.pois, reply.result.answer.pois);
+  EXPECT_EQ(decoded->result.answer.max_dist, 1.625);
+  EXPECT_EQ(decoded->result.center_worst, 1.5);
+  EXPECT_EQ(decoded->result.group_index, 42);
+  EXPECT_EQ(decoded->stats.ball_queries, 7u);
+}
+
+TEST(WireTest, TruncatedPayloadsAreRejectedNotRead) {
+  RefineRequest request;
+  request.query = SampleQuery();
+  request.centers = {4, 8, 15};
+  request.groups = {{1, 2, 17, 30}};
+  std::vector<uint8_t> bytes = EncodeRefineRequest(request);
+  for (size_t cut : {size_t{0}, size_t{8}, bytes.size() - 1}) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    EXPECT_TRUE(DecodeRefineRequest(truncated).status().IsInvalidArgument())
+        << "cut=" << cut;
+  }
+  // Trailing garbage is as malformed as missing bytes.
+  bytes.push_back(0);
+  EXPECT_TRUE(DecodeRefineRequest(bytes).status().IsInvalidArgument());
+
+  CandidatesReply reply;
+  reply.candidates.users = {1};
+  std::vector<uint8_t> cbytes = EncodeCandidatesReply(reply);
+  cbytes.resize(cbytes.size() / 2);
+  EXPECT_TRUE(DecodeCandidatesReply(cbytes).status().IsInvalidArgument());
+}
+
+TEST(WireTest, StatusCodesSurviveTheWire) {
+  EXPECT_TRUE(StatusFromWire(0).ok());
+  EXPECT_TRUE(StatusFromWire(static_cast<int32_t>(StatusCode::kCancelled))
+                  .IsCancelled());
+  EXPECT_TRUE(
+      StatusFromWire(static_cast<int32_t>(StatusCode::kDeadlineExceeded))
+          .IsDeadlineExceeded());
+  EXPECT_TRUE(StatusFromWire(static_cast<int32_t>(StatusCode::kInvalidArgument))
+                  .IsInvalidArgument());
+  EXPECT_EQ(StatusFromWire(999).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace gpssn::serving
